@@ -1,0 +1,95 @@
+"""Shared fixtures for the figure-reproduction benchmarks.
+
+Each benchmark regenerates one of the paper's figures (see DESIGN.md's
+experiment index): it times the analysis step with pytest-benchmark and
+emits the figure's rows/series as text.  Emitted tables are written to
+``benchmarks/results/<name>.txt`` and echoed into the terminal summary,
+so a plain ``pytest benchmarks/ --benchmark-only`` run shows the data
+the paper plots.
+
+The underlying scenario is simulated (see DESIGN.md §2 for the data
+substitution): absolute numbers differ from the paper's testbed, but
+the comparisons each figure makes — who wins, by what factor, where the
+crossovers sit — are expected to hold.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro import CosmicDance
+from repro.simulation import may2024_scenario, paper_scenario
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+_emitted: list[tuple[str, str]] = []
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Record a rendered figure table: saved to results/ and echoed."""
+
+    def _emit(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        _emitted.append((name, text))
+
+    return _emit
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _emitted:
+        return
+    terminalreporter.section("figure reproductions")
+    for name, text in _emitted:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(f"--- {name} " + "-" * max(0, 60 - len(name)))
+        for line in text.splitlines():
+            terminalreporter.write_line(line)
+
+
+@pytest.fixture(scope="session")
+def paper_run():
+    """The paper-window scenario, ingested and pipelined once."""
+    scenario = paper_scenario(total_satellites=72, seed=0)
+    pipeline = CosmicDance()
+    pipeline.ingest.add_dst(scenario.dst)
+    pipeline.ingest.add_elements(scenario.catalog.all_elements())
+    pipeline.run()
+    return scenario, pipeline
+
+
+@pytest.fixture(scope="session")
+def may_run():
+    """The May 2024 super-storm scenario, ingested and pipelined once."""
+    scenario = may2024_scenario(total_satellites=120, seed=1)
+    pipeline = CosmicDance()
+    pipeline.ingest.add_dst(scenario.dst)
+    pipeline.ingest.add_elements(scenario.catalog.all_elements())
+    pipeline.run()
+    return scenario, pipeline
+
+
+def isolated_moderate_event(pipeline, *, min_quiet_days: float = 20.0):
+    """A moderate storm with no other event in the preceding weeks.
+
+    The paper 'picked at random a high-intensity solar event
+    (intensity: -112 nT)' for Fig. 4(a); an event too close to an
+    earlier storm would start with the fleet already displaced, which
+    the 5 km rule would then exclude.
+    """
+    episodes = pipeline.result.storm_episodes
+    moderate = [e for e in episodes if e.peak_nt <= -100.0]
+    for candidate in moderate:
+        gap_ok = all(
+            other.end.unix <= candidate.start.unix - min_quiet_days * 86400.0
+            or other.start.unix >= candidate.start.unix
+            for other in episodes
+            if other is not candidate
+        )
+        if gap_ok:
+            return candidate
+    return moderate[0] if moderate else episodes[0]

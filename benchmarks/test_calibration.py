@@ -1,0 +1,30 @@
+"""Scenario calibration gate.
+
+The whole reproduction hinges on the simulated datasets keeping the
+paper's statistical structure (DESIGN.md §2).  This bench runs the
+calibration validator so drift fails the benchmark suite loudly.
+"""
+
+from repro.core.report import render_table
+from repro.simulation.validation import validate_paper_scenario
+
+
+def test_calibration(benchmark, paper_run, emit):
+    scenario, pipeline = paper_run
+    report = benchmark.pedantic(
+        validate_paper_scenario, args=(scenario,), rounds=1, iterations=1
+    )
+
+    emit(
+        "calibration",
+        render_table(
+            f"Scenario calibration vs paper targets ({report.scenario_name})",
+            ("check", "target", "measured", "ok"),
+            [
+                (c.name, c.target, f"{c.measured:.2f}", "yes" if c.ok else "NO")
+                for c in report.checks
+            ],
+        ),
+    )
+
+    assert report.ok, f"calibration drift: {report.failures()}"

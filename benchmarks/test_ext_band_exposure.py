@@ -1,0 +1,50 @@
+"""Extension bench — latitude-band storm exposure (paper §6).
+
+The paper notes higher latitudes are more storm-prone and calls for a
+latitude-band-wise study.  This bench samples fleet positions with the
+SGP4 substrate across the strongest storm's hours and attributes them
+to latitude bands.
+"""
+
+from repro.core.geography import storm_band_exposure
+from repro.core.report import render_table
+
+
+def test_ext_band_exposure(benchmark, paper_run, emit):
+    scenario, pipeline = paper_run
+    # The deepest storm of the window keeps the propagation bill small.
+    deepest = min(pipeline.result.storm_episodes, key=lambda e: e.peak_nt)
+
+    exposure = benchmark.pedantic(
+        storm_band_exposure,
+        args=(pipeline.result.cleaned, [deepest]),
+        kwargs={"step_minutes": 30.0, "max_satellites": 12},
+        rounds=1,
+        iterations=1,
+    )
+
+    emit(
+        "ext_band_exposure",
+        render_table(
+            f"Extension: latitude-band exposure during the "
+            f"{deepest.start.isoformat()[:10]} storm ({deepest.peak_nt:.0f} nT, "
+            f"{deepest.duration_hours} h, 12 satellites sampled)",
+            ("band", "satellite-hours", "fraction"),
+            [
+                (label, f"{hours:.1f}", f"{frac:.2%}")
+                for label, hours, frac in zip(
+                    exposure.band_labels(),
+                    exposure.satellite_hours,
+                    exposure.fractions(),
+                )
+            ],
+        ),
+    )
+
+    assert exposure.total_hours > 0
+    # A 53-degree-inclination fleet sweeps every band; the high band
+    # (50-90 deg) collects a substantial share because orbital dwell
+    # time peaks near the inclination limit.
+    fractions = exposure.fractions()
+    assert all(f > 0 for f in fractions)
+    assert fractions[-1] > 0.15

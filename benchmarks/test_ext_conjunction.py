@@ -1,0 +1,47 @@
+"""Extension bench — shell trespass / conjunction pressure (paper §6).
+
+The paper observes 10s-of-km post-storm shifts "often trespassing
+neighboring shells of satellites" and leaves the Kessler-risk
+quantification to future work.  This bench runs that quantification on
+the paper-window scenario: storm-displaced and decaying satellites
+accumulate measurable residence time inside foreign shells.
+"""
+
+from repro.core.conjunction import conjunction_report
+from repro.core.report import render_table
+
+
+def test_ext_conjunction(benchmark, paper_run, emit):
+    scenario, pipeline = paper_run
+    report = benchmark.pedantic(
+        conjunction_report, args=(pipeline.result.cleaned,), rounds=1, iterations=1
+    )
+
+    by_shell: dict[str, float] = {}
+    for event in report.events:
+        by_shell[event.shell.name] = (
+            by_shell.get(event.shell.name, 0.0) + event.duration_hours
+        )
+    emit(
+        "ext_conjunction",
+        render_table(
+            "Extension: shell-trespass exposure over the paper window",
+            ("metric", "value"),
+            [
+                ("trespass events", len(report.events)),
+                ("satellites involved", report.satellites_involved),
+                ("trespass satellite-hours", f"{report.trespass_hours:.0f}"),
+                ("conjunction pressure", f"{report.conjunction_pressure:.2e}"),
+            ]
+            + [
+                (f"hours inside {name}", f"{hours:.0f}")
+                for name, hours in sorted(by_shell.items())
+            ],
+        ),
+    )
+
+    # Storm-driven decays guarantee some trespass exposure in 4+ years.
+    assert report.trespass_hours > 0
+    assert report.satellites_involved >= 1
+    # Pressure is duration x shell density, so it dominates raw hours.
+    assert report.conjunction_pressure > report.trespass_hours

@@ -1,0 +1,61 @@
+"""Extension bench — Dst nowcast skill over the paper window.
+
+Scores the exponential-recovery forecaster against persistence at every
+storm onset in the paper window.  The recovery model should win during
+storm recoveries — the regime where trigger-driven measurements (and
+satellite operators) actually need a forecast.
+"""
+
+import numpy as np
+
+from repro.core.report import render_table
+from repro.spaceweather.forecast import (
+    forecast_mae,
+    persistence_forecast,
+    recovery_forecast,
+)
+
+
+def score_forecasts(pipeline):
+    dst = pipeline.result.dst
+    rows = []
+    for episode in pipeline.result.storm_episodes:
+        # Forecast from just after the episode peak.
+        origin = episode.start.add_hours(episode.duration_hours + 0.5)
+        try:
+            model = forecast_mae(recovery_forecast(dst, origin), dst)
+            flat = forecast_mae(persistence_forecast(dst, origin), dst)
+        except Exception:  # noqa: BLE001 - origin may fall off the record
+            continue
+        if np.isfinite(model) and np.isfinite(flat):
+            rows.append((episode.peak_nt, model, flat))
+    return rows
+
+
+def test_ext_forecast_skill(benchmark, paper_run, emit):
+    scenario, pipeline = paper_run
+    rows = benchmark.pedantic(score_forecasts, args=(pipeline,), rounds=1, iterations=1)
+    assert rows, "the window must contain scoreable storm recoveries"
+
+    model_maes = np.array([r[1] for r in rows])
+    flat_maes = np.array([r[2] for r in rows])
+    wins = float(np.mean(model_maes < flat_maes))
+
+    emit(
+        "ext_forecast_skill",
+        render_table(
+            f"Extension: 24 h Dst nowcast skill over {len(rows)} storm "
+            f"recoveries (recovery model beats persistence on "
+            f"{wins:.0%} of events)",
+            ("metric", "recovery model", "persistence"),
+            [
+                ("median MAE [nT]", f"{np.median(model_maes):.1f}",
+                 f"{np.median(flat_maes):.1f}"),
+                ("mean MAE [nT]", f"{model_maes.mean():.1f}",
+                 f"{flat_maes.mean():.1f}"),
+            ],
+        ),
+    )
+
+    assert np.median(model_maes) < np.median(flat_maes)
+    assert wins > 0.6

@@ -1,0 +1,44 @@
+"""Extension bench — orbital lifetime vs altitude and storm conditions.
+
+Quantifies the background facts the paper's narrative rests on: an
+uncontrolled satellite at the ~350 km staging orbit decays within
+weeks (the Feb 2022 loss), the 550 km shell takes an order of magnitude
+longer, and storm-level densities compress every lifetime.
+"""
+
+from repro.atmosphere.lifetime import lifetime_table
+from repro.core.report import render_table
+
+ALTITUDES = [300.0, 350.0, 400.0, 450.0, 500.0, 550.0]
+
+
+def compute_lifetimes():
+    quiet = lifetime_table(ALTITUDES, max_days=20 * 365.25)
+    stormy = lifetime_table(ALTITUDES, density_multiplier=5.0, max_days=20 * 365.25)
+    return quiet, stormy
+
+
+def test_ext_lifetime(benchmark, emit):
+    quiet, stormy = benchmark.pedantic(compute_lifetimes, rounds=1, iterations=1)
+
+    emit(
+        "ext_lifetime",
+        render_table(
+            "Extension: uncontrolled orbital lifetime (quiet vs 5x storm "
+            "density; paper: staging satellites were lost within weeks)",
+            ("altitude km", "quiet days", "storm days"),
+            [
+                (f"{alt:.0f}", f"{q.days:.0f}", f"{s.days:.0f}")
+                for alt, q, s in zip(ALTITUDES, quiet, stormy)
+            ],
+        ),
+    )
+
+    by_alt = dict(zip(ALTITUDES, quiet))
+    # The staging orbit is weeks from re-entry once uncontrolled...
+    assert by_alt[350.0].days < 60.0
+    # ...while the operational shell is an order of magnitude safer.
+    assert by_alt[550.0].days > 10 * by_alt[350.0].days
+    # Storm densities compress lifetimes roughly proportionally.
+    for q, s in zip(quiet, stormy):
+        assert s.days < q.days / 3.0

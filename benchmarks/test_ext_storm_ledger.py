@@ -1,0 +1,44 @@
+"""Extension bench — the storm impact ledger over the paper window.
+
+Rolls every happens-closely-after relation and window statistic up per
+solar event, ranking the window's storms by measured fleet impact —
+"useful insights in aggregate", as the paper's introduction puts it.
+"""
+
+from repro.core.report import render_table
+
+
+def test_ext_storm_ledger(benchmark, paper_run, emit):
+    scenario, pipeline = paper_run
+    ledger = benchmark.pedantic(pipeline.storm_impacts, rounds=1, iterations=1)
+    assert ledger
+
+    emit(
+        "ext_storm_ledger",
+        render_table(
+            "Extension: storm impact ledger (top 12 of "
+            f"{len(ledger)} episodes, by impact score)",
+            ("storm", "peak nT", "hours", "events", "sats", "alt p95 km",
+             "alt max km", "drag x"),
+            [
+                (
+                    impact.episode.start.isoformat()[:10],
+                    f"{impact.episode.peak_nt:.0f}",
+                    impact.episode.duration_hours,
+                    impact.drag_spikes + impact.decay_onsets,
+                    impact.satellites_with_events,
+                    f"{impact.p95_altitude_change_km:.1f}",
+                    f"{impact.max_altitude_change_km:.1f}",
+                    f"{impact.median_drag_ratio:.2f}",
+                )
+                for impact in ledger[:12]
+            ],
+        ),
+    )
+
+    # Deep storms must populate the top of the ledger: the mean peak
+    # intensity of the top quartile is deeper than the bottom quartile.
+    quartile = max(1, len(ledger) // 4)
+    top = sum(i.episode.peak_nt for i in ledger[:quartile]) / quartile
+    bottom = sum(i.episode.peak_nt for i in ledger[-quartile:]) / quartile
+    assert top < bottom, "impact ranking should correlate with intensity"

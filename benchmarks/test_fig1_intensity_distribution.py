@@ -1,0 +1,49 @@
+"""Fig. 1 — distribution of geomagnetic storm intensities, Jan'20-May'24.
+
+Paper's observations this bench reproduces in shape:
+* the 95th-ptile intensity is weaker than a minor storm (> -50 nT),
+* the 99th-ptile sits near -63 nT,
+* mild storms total ~720 hours, moderate ~74 hours, severe exactly 3
+  hours (~-210 nT), extreme none.
+"""
+
+from repro.core.figures import fig1_intensity_distribution
+from repro.core.report import render_table
+from repro.spaceweather import StormLevel
+
+
+def test_fig1_intensity_distribution(benchmark, paper_run, emit):
+    scenario, pipeline = paper_run
+    dst = scenario.dst.slice(scenario.start.add_days(61), None)  # Jan'20 on
+
+    distribution = benchmark.pedantic(
+        fig1_intensity_distribution, args=(dst,), rounds=3, iterations=1
+    )
+    counts = distribution.band_hours
+    percentiles = distribution.percentiles
+
+    rows = [
+        (f"{q}th-ptile intensity", f"{value:.1f} nT")
+        for q, value in percentiles.items()
+    ]
+    rows += [
+        (f"hours at {level.name.lower()}", counts[level])
+        for level in StormLevel
+        if level is not StormLevel.QUIET
+    ]
+    emit(
+        "fig1_intensity_distribution",
+        render_table(
+            "Fig. 1: storm intensity distribution (paper: 99th-ptile -63 nT; "
+            "mild 720 h, moderate 74 h, severe 3 h)",
+            ("metric", "value"),
+            rows,
+        ),
+    )
+
+    # Shape assertions against the paper's headline numbers.
+    assert percentiles[95] > -50.0, "95th-ptile must be weaker than minor storms"
+    assert -85.0 < percentiles[99] < -50.0, "99th-ptile near the paper's -63 nT"
+    assert counts[StormLevel.MINOR] > counts[StormLevel.MODERATE] > counts[StormLevel.SEVERE]
+    assert counts[StormLevel.EXTREME] == 0
+    assert 1 <= counts[StormLevel.SEVERE] <= 6

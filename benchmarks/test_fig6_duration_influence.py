@@ -1,0 +1,54 @@
+"""Fig. 6 — influence of storm duration on altitude and drag changes.
+
+The paper splits storms above the 99th-ptile intensity threshold at the
+median episode duration (9 hours in their data): longer storms produce
+a significantly longer and denser altitude-change tail, and larger drag
+increases.
+"""
+
+from repro.core.figures import fig6_duration_influence
+from repro.core.report import render_cdf, render_table
+
+
+def test_fig6_duration_influence(benchmark, paper_run, emit):
+    scenario, pipeline = paper_run
+    fig = benchmark.pedantic(
+        fig6_duration_influence, args=(pipeline.result,), rounds=1, iterations=1
+    )
+    median_duration = fig.median_duration_hours
+    short_alt = fig.short_altitude_cdf
+    long_alt = fig.long_altitude_cdf
+    short_drag = fig.short_drag_cdf
+    long_drag = fig.long_drag_cdf
+
+    parts = [
+        render_table(
+            "Fig. 6 split point (paper: 9 h median duration of >99th-ptile storms)",
+            ("metric", "value"),
+            [("median episode duration", f"{median_duration:.1f} h")],
+        ),
+        render_cdf(
+            f"Fig. 6(a): altitude change after storms shorter than "
+            f"{median_duration:.0f} h",
+            short_alt,
+            unit=" km",
+        ),
+        render_cdf(
+            f"Fig. 6(b): altitude change after storms of {median_duration:.0f} h "
+            "or longer. Paper: significantly longer, denser tail.",
+            long_alt,
+            unit=" km",
+        ),
+        render_cdf(
+            "Fig. 6(c): B* drag ratio after the longer storms",
+            long_drag,
+            unit="x",
+        ),
+    ]
+    emit("fig6_duration_influence", "\n\n".join(parts))
+
+    # Longer storms push the distribution out at the tail.
+    assert long_alt.quantile(0.95) >= short_alt.quantile(0.95)
+    assert long_alt.quantile(1.0) >= short_alt.quantile(1.0)
+    # ... and drive more drag.
+    assert long_drag.quantile(0.75) >= short_drag.quantile(0.75)

@@ -1,0 +1,52 @@
+"""Fig. 8 — ~50 years of Dst indices with the famous super-storms.
+
+The paper's appendix plots the Dst series since the mid-1970s and
+annotates eight named storms (1989 Quebec -589 nT ... May 2024
+-412 nT).  This bench regenerates the reconstruction and verifies every
+named storm is visible at roughly its recorded depth.
+"""
+
+from repro.core.report import render_table
+from repro.simulation.historical import FAMOUS_STORMS, historical_dst
+
+
+def compute_fig8():
+    # Generate the decades that contain the famous storms (generating
+    # all 50 years is supported but takes ~10x longer than this bench
+    # needs; the per-year model is identical).
+    return {
+        (1988, 1992): historical_dst(1988, 1992, seed=7),
+        (1999, 2004): historical_dst(1999, 2004, seed=7),
+        (2024, 2025): historical_dst(2024, 2025, seed=7),
+    }
+
+
+def test_fig8_historical_dst(benchmark, emit):
+    windows = benchmark.pedantic(compute_fig8, rounds=1, iterations=1)
+
+    rows = []
+    for storm in FAMOUS_STORMS:
+        for (y0, y1), dst in windows.items():
+            if y0 <= storm.onset.year < y1:
+                around = dst.slice(storm.onset.add_days(-1), storm.onset.add_days(3))
+                observed = around.min_nt()
+                rows.append(
+                    (
+                        storm.name,
+                        storm.onset.isoformat()[:10],
+                        f"{storm.peak_nt:.0f}",
+                        f"{observed:.0f}",
+                    )
+                )
+                assert observed <= storm.peak_nt * 0.9, storm.name
+                break
+
+    emit(
+        "fig8_historical_dst",
+        render_table(
+            "Fig. 8: famous geomagnetic storms in the 50-year reconstruction",
+            ("storm", "date", "recorded nT", "reconstructed nT"),
+            rows,
+        ),
+    )
+    assert len(rows) == len(FAMOUS_STORMS)

@@ -1,0 +1,69 @@
+"""Substrate micro-benchmarks.
+
+Not figure reproductions — these track the throughput of the hot paths
+the pipeline leans on (SGP4 stepping, TLE parse/format, storm
+detection, cleaning), so performance regressions in the substrates are
+visible alongside the scientific benches.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sgp4 import SGP4
+from repro.spaceweather import DstIndex, detect_episodes
+from repro.time import Epoch
+from repro.tle import format_tle, parse_tle
+
+SGP4_LINE1 = "1 88888U          80275.98708465  .00073094  13844-3  66816-4 0    87"
+SGP4_LINE2 = "2 88888  72.8435 115.9689 0086731  52.6988 110.5714 16.05824518  1058"
+
+
+def test_perf_sgp4_propagation(benchmark):
+    propagator = SGP4(parse_tle(SGP4_LINE1, SGP4_LINE2))
+    offsets = [float(m) for m in range(0, 1000)]
+
+    def run():
+        return [propagator.propagate_minutes(m) for m in offsets]
+
+    results = benchmark(run)
+    assert len(results) == 1000
+
+
+def test_perf_tle_parse(benchmark):
+    def run():
+        return [parse_tle(SGP4_LINE1, SGP4_LINE2) for _ in range(200)]
+
+    results = benchmark(run)
+    assert results[0].catalog_number == 88888
+
+
+def test_perf_tle_format(benchmark):
+    elements = parse_tle(SGP4_LINE1, SGP4_LINE2)
+
+    def run():
+        return [format_tle(elements) for _ in range(200)]
+
+    results = benchmark(run)
+    assert results[0][0] == SGP4_LINE1
+
+
+def test_perf_storm_detection(benchmark):
+    rng = np.random.default_rng(0)
+    hours = 5 * 365 * 24
+    values = -11.0 + 7.0 * rng.standard_normal(hours)
+    values[40000:40040] -= 180.0
+    dst = DstIndex.from_hourly(Epoch.from_calendar(2019, 1, 1), values)
+
+    episodes = benchmark(detect_episodes, dst, -60.0)
+    assert episodes
+
+
+def test_perf_cleaning(benchmark, paper_run):
+    from repro.core.cleaning import clean_catalog
+
+    scenario, pipeline = paper_run
+
+    cleaned, report = benchmark.pedantic(
+        clean_catalog, args=(scenario.catalog,), rounds=2, iterations=1
+    )
+    assert report.kept > 0

@@ -1,0 +1,48 @@
+"""§4 text statistics — the storm-hour totals and percentile markers the
+paper quotes in prose rather than in a figure."""
+
+from repro.core.report import render_table
+from repro.spaceweather import StormLevel, detect_episodes, duration_stats
+
+
+def compute_text_stats(dst, event_percentile):
+    threshold = dst.intensity_percentile(event_percentile)
+    episodes = detect_episodes(dst, threshold)
+    return threshold, duration_stats(episodes), dst.level_hour_counts()
+
+
+def test_text_storm_stats(benchmark, paper_run, emit):
+    scenario, pipeline = paper_run
+    dst = scenario.dst.slice(scenario.start.add_days(61), None)
+
+    threshold, stats, counts = benchmark.pedantic(
+        compute_text_stats,
+        args=(dst, pipeline.config.event_percentile),
+        rounds=3,
+        iterations=1,
+    )
+
+    emit(
+        "text_storm_stats",
+        render_table(
+            "Paper §4-§5 prose statistics",
+            ("metric", "value", "paper"),
+            [
+                ("99th-ptile intensity", f"{threshold:.1f} nT", "-63 nT"),
+                ("mild storm hours", counts[StormLevel.MINOR], "720"),
+                ("moderate storm hours", counts[StormLevel.MODERATE], "74"),
+                ("severe storm hours", counts[StormLevel.SEVERE], "3"),
+                ("extreme storm hours", counts[StormLevel.EXTREME], "0"),
+                (
+                    ">99th-ptile episode median duration",
+                    f"{stats.median_hours:.1f} h",
+                    "9 h",
+                ),
+                (">99th-ptile episode count", stats.count, "-"),
+            ],
+        ),
+    )
+
+    assert -85.0 < threshold < -50.0
+    assert 2.0 <= stats.median_hours <= 16.0, "median near the paper's 9 h split"
+    assert counts[StormLevel.EXTREME] == 0

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Incremental-ingest monitoring: feed data in batches, watch alarms.
+
+CosmicDance was designed to fetch TLE history incrementally and
+re-evaluate as data arrives (§3 of the paper).  This example simulates
+that operating mode: the scenario's TLE records are replayed in monthly
+batches; after each batch the pipeline re-runs and we report newly
+detected storm triggers and permanent-decay alarms — the signals a
+LEOScope-style measurement scheduler would subscribe to.
+
+Run:  python examples/constellation_monitor.py
+"""
+
+from repro import CosmicDance
+from repro.simulation import quickstart_scenario
+from repro.time import Epoch
+
+
+def main() -> None:
+    scenario = quickstart_scenario()
+    records = sorted(scenario.catalog.all_elements(), key=lambda e: e.epoch.unix)
+    print(
+        f"Replaying {len(records)} TLE records through monthly ingest batches\n"
+    )
+
+    pipeline = CosmicDance()
+    pipeline.ingest.add_dst(scenario.dst)
+
+    seen_triggers: set[float] = set()
+    seen_decays: set[int] = set()
+
+    batch_start = scenario.start
+    while batch_start.unix < scenario.end.unix:
+        batch_end = batch_start.add_days(30.0)
+        batch = [
+            r for r in records
+            if batch_start.unix <= r.epoch.unix < batch_end.unix
+        ]
+        batch_start = batch_end
+        if not batch:
+            continue
+        added = pipeline.ingest.add_elements(batch)
+        result = pipeline.run()
+        stamp = Epoch.from_unix(batch[-1].epoch.unix).isoformat()[:10]
+        print(f"[{stamp}] ingested {added} records "
+              f"({pipeline.ingest.stats.tle_records_added} total)")
+
+        for episode in result.storm_episodes:
+            if episode.start.unix not in seen_triggers:
+                seen_triggers.add(episode.start.unix)
+                print(
+                    f"  TRIGGER  storm episode {episode.start.isoformat()} "
+                    f"peak {episode.peak_nt:.0f} nT "
+                    f"({episode.duration_hours} h) — notify measurement clients"
+                )
+        for assessment in result.permanently_decayed:
+            if assessment.catalog_number not in seen_decays:
+                seen_decays.add(assessment.catalog_number)
+                print(
+                    f"  ALARM    satellite {assessment.catalog_number} in "
+                    f"permanent decay: {assessment.final_deficit_km:.1f} km "
+                    f"below its long-term altitude"
+                )
+
+    print(
+        f"\nDone: {len(seen_triggers)} storm triggers, "
+        f"{len(seen_decays)} permanent-decay alarms."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""File-format workflow: WDC Dst, TLE dumps, OMM JSON, and the cache.
+
+Shows the interchange surface a real deployment touches:
+
+1. generate a scenario and export it as the *exact artifacts the public
+   sources serve* — a WDC Kyoto Dst file, Space-Track-style 2LE text,
+   and an OMM JSON array;
+2. re-ingest everything from those files alone (no in-memory objects);
+3. run the pipeline and persist the inputs in a DataStore cache for
+   the next incremental run.
+
+Run:  python examples/file_formats_workflow.py
+"""
+
+import pathlib
+import tempfile
+
+from repro import CosmicDance
+from repro.io import DataStore
+from repro.simulation import quickstart_scenario
+from repro.spaceweather.wdc import format_wdc
+from repro.tle import format_omm_json, parse_omm_json
+from repro.tle.format import format_tle_block
+
+
+def main() -> None:
+    scenario = quickstart_scenario()
+    workdir = pathlib.Path(tempfile.mkdtemp(prefix="cosmicdance-"))
+    print(f"working in {workdir}\n")
+
+    # --- 1. export the public-source artifacts ---------------------------
+    dst_path = workdir / "dst.wdc"
+    dst_path.write_text(format_wdc(scenario.dst))
+    print(f"wrote {dst_path.name}: {len(dst_path.read_text().splitlines())} WDC records")
+
+    elements = list(scenario.catalog.all_elements())
+    half = len(elements) // 2
+    tle_path = workdir / "starlink.tle"
+    tle_path.write_text(format_tle_block(elements[:half]))
+    print(f"wrote {tle_path.name}: {half} element sets as 2LE text")
+
+    omm_path = workdir / "starlink_omm.json"
+    omm_path.write_text(format_omm_json(elements[half:]))
+    print(f"wrote {omm_path.name}: {len(elements) - half} element sets as OMM JSON\n")
+
+    # --- 2. ingest from files only ------------------------------------------
+    pipeline = CosmicDance()
+    pipeline.ingest.add_dst_wdc(dst_path.read_text())
+    pipeline.ingest.add_tle_text(tle_path.read_text())
+    pipeline.ingest.add_elements(parse_omm_json(omm_path.read_text()))
+    stats = pipeline.ingest.stats
+    print(
+        f"ingested {stats.dst_hours} Dst hours and "
+        f"{stats.tle_records_added} TLE records "
+        f"({stats.tle_parse_errors} parse errors)"
+    )
+
+    result = pipeline.run()
+    print(
+        f"pipeline: {len(result.storm_episodes)} storm episodes, "
+        f"{len(result.associations)} happens-closely-after relations, "
+        f"{len(result.permanently_decayed)} permanent decays\n"
+    )
+
+    # --- 3. persist to the cache for the next incremental run --------------
+    store = DataStore(workdir / "cache")
+    store.save_dst(result.dst)
+    store.save_catalog(pipeline.ingest.catalog)
+    reloaded = store.load_catalog()
+    print(
+        f"cached to {store.root}: {len(reloaded)} satellites, "
+        f"{reloaded.total_records()} records round-tripped"
+    )
+
+
+if __name__ == "__main__":
+    main()

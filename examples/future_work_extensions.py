@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""The paper's §6 future-work features, implemented as extensions.
+
+1. **Finer granularity** — latitude-band storm exposure computed with
+   the from-scratch SGP4 propagator;
+2. **Kessler's syndrome analysis** — shell-trespass events and a
+   conjunction-pressure proxy across the fleet;
+3. **LEOScope integration** — storm-triggered measurement campaigns
+   with baselines, rate limiting, and priorities.
+
+Run:  python examples/future_work_extensions.py
+"""
+
+from repro import CosmicDance
+from repro.core.report import render_table
+from repro.core.triggers import TriggerPolicy
+from repro.simulation import quickstart_scenario
+
+
+def main() -> None:
+    scenario = quickstart_scenario()
+    pipeline = CosmicDance()
+    pipeline.ingest.add_dst(scenario.dst)
+    pipeline.ingest.add_elements(scenario.catalog.all_elements())
+    result = pipeline.run()
+    print(f"{len(result.storm_episodes)} storm episodes detected\n")
+
+    # --- 1. latitude-band exposure --------------------------------------
+    exposure = pipeline.band_exposure(step_minutes=30.0, max_satellites=8)
+    print(
+        render_table(
+            "Storm exposure by absolute-latitude band (8 satellites sampled)",
+            ("band", "satellite-hours", "fraction"),
+            [
+                (label, f"{hours:.1f}", f"{fraction:.2%}")
+                for label, hours, fraction in zip(
+                    exposure.band_labels(),
+                    exposure.satellite_hours,
+                    exposure.fractions(),
+                )
+            ],
+        )
+    )
+    print()
+
+    # --- 2. shell trespass / conjunction pressure ------------------------
+    report = pipeline.conjunctions()
+    print(
+        render_table(
+            "Shell-trespass summary (Kessler-pressure proxy)",
+            ("metric", "value"),
+            [
+                ("trespass events", len(report.events)),
+                ("satellites involved", report.satellites_involved),
+                ("trespass satellite-hours", f"{report.trespass_hours:.1f}"),
+                ("conjunction pressure", f"{report.conjunction_pressure:.0f}"),
+            ],
+        )
+    )
+    for event in report.events[:5]:
+        print(
+            f"  {event.catalog_number} inside {event.shell.name} "
+            f"({event.shell.altitude_km:.0f} km) for {event.duration_hours:.0f} h "
+            f"from {event.start.isoformat()}"
+        )
+    print()
+
+    # --- 3. LEOScope trigger schedule -------------------------------------
+    campaigns = pipeline.measurement_campaigns(
+        TriggerPolicy(baseline_hours=6.0, post_storm_hours=48.0, min_gap_hours=48.0)
+    )
+    print(
+        render_table(
+            "Storm-triggered measurement campaigns (LEOScope hook)",
+            ("baseline start", "active start", "active end", "priority", "trigger nT"),
+            [
+                (
+                    c.baseline_start.isoformat(),
+                    c.active_start.isoformat(),
+                    c.active_end.isoformat(),
+                    c.priority,
+                    f"{c.trigger.peak_nt:.0f}",
+                )
+                for c in campaigns
+            ],
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""The May 2024 super-storm case study (the paper's Fig. 7).
+
+On 10-11 May 2024 a -412 nT super-storm — the most intense since the
+2003 Halloween storms — hit a fully deployed Starlink fleet.  Starlink
+reported ~5x drag, a short outage, and no satellite losses, crediting
+reduced frontal cross-sections and attentive station keeping.
+
+This example reproduces the post-analysis: daily fleet drag statistics
+(median / mean / 95th-ptile B*), tracked-satellite counts, and the
+altitude stability check.
+
+Run:  python examples/may2024_superstorm.py
+"""
+
+import numpy as np
+
+from repro import CosmicDance, Epoch
+from repro.core.report import render_table
+from repro.simulation import may2024_scenario
+
+
+def main() -> None:
+    print("Generating the May 2024 scenario...")
+    scenario = may2024_scenario(total_satellites=100)
+    pipeline = CosmicDance()
+    pipeline.ingest.add_dst(scenario.dst)
+    pipeline.ingest.add_elements(scenario.catalog.all_elements())
+    pipeline.run()
+
+    start = Epoch.from_calendar(2024, 5, 1)
+    end = Epoch.from_calendar(2024, 5, 31)
+    rows = pipeline.fleet_drag(start, end)
+
+    print(
+        render_table(
+            "Daily fleet drag and tracking through the super-storm",
+            ("day", "min Dst nT", "median B*", "mean B*", "p95 B*", "tracked"),
+            [
+                (
+                    r.day.isoformat()[:10],
+                    f"{r.min_dst_nt:.0f}",
+                    f"{r.median_bstar:.2e}",
+                    f"{r.mean_bstar:.2e}",
+                    f"{r.p95_bstar:.2e}",
+                    r.tracked_satellites,
+                )
+                for r in rows
+            ],
+        )
+    )
+    print()
+
+    quiet_median = np.median(
+        [r.median_bstar for r in rows[:8] if np.isfinite(r.median_bstar)]
+    )
+    storm_peak = max(r.median_bstar for r in rows if np.isfinite(r.median_bstar))
+    print(f"Drag multiplier at the storm peak: {storm_peak / quiet_median:.1f}x")
+
+    before = [r.tracked_satellites for r in rows[:9]]
+    after = [r.tracked_satellites for r in rows[-5:]]
+    print(
+        f"Tracked satellites: {np.mean(before):.0f} before the storm, "
+        f"{np.mean(after):.0f} after (no loss expected)"
+    )
+
+    storm_day = Epoch.from_calendar(2024, 5, 10, 17)
+    curves = pipeline.post_event_curves(
+        storm_day, window_days=15.0, affected_only=False
+    )
+    max_median_dip = float(np.nanmax(curves.median_curve))
+    print(
+        f"Maximum fleet-median altitude deviation in the 15 days after "
+        f"the storm: {max_median_dip:.2f} km (no drastic change expected)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Quickstart: run the CosmicDance pipeline end to end.
+
+Generates a small simulated scenario (six months, 30 satellites, two
+planted storms — stand-ins for the WDC Dst feed and the Space-Track TLE
+history), runs the measurement pipeline, and prints what it found:
+detected storm episodes, trajectory changes happening closely after
+them, and any satellites in permanent decay.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import CosmicDance
+from repro.core.report import render_table
+from repro.simulation import quickstart_scenario
+
+
+def main() -> None:
+    print("Generating scenario (simulated Dst + TLE history)...")
+    scenario = quickstart_scenario()
+    print(
+        f"  {len(scenario.catalog)} satellites, "
+        f"{scenario.catalog.total_records()} TLE records, "
+        f"{len(scenario.dst)} hourly Dst samples\n"
+    )
+
+    pipeline = CosmicDance()
+    pipeline.ingest.add_dst(scenario.dst)
+    pipeline.ingest.add_elements(scenario.catalog.all_elements())
+    result = pipeline.run()
+
+    print(
+        f"Cleaning: kept {result.cleaning_report.kept} of "
+        f"{result.cleaning_report.total_records} records "
+        f"({result.cleaning_report.gross_errors} gross tracking errors, "
+        f"{result.cleaning_report.orbit_raising} orbit-raising records)\n"
+    )
+
+    print(
+        render_table(
+            f"Storm episodes at/below {result.event_threshold_nt:.0f} nT "
+            "(the 99th-ptile event threshold)",
+            ("start", "peak nT", "hours", "level"),
+            [
+                (e.start.isoformat(), f"{e.peak_nt:.0f}", e.duration_hours, e.level.name)
+                for e in result.storm_episodes
+            ],
+        )
+    )
+    print()
+
+    print(
+        render_table(
+            "Trajectory changes happening closely after storms",
+            ("satellite", "kind", "when", "lag h", "magnitude"),
+            [
+                (
+                    a.event.catalog_number,
+                    a.event.kind.value,
+                    a.event.epoch.isoformat(),
+                    f"{a.lag_hours:.1f}",
+                    f"{a.event.magnitude:.2f}",
+                )
+                for a in result.associations[:15]
+            ],
+        )
+    )
+    if len(result.associations) > 15:
+        print(f"... and {len(result.associations) - 15} more")
+    print()
+
+    decayed = result.permanently_decayed
+    if decayed:
+        print(
+            render_table(
+                "Satellites in permanent decay (service-hole candidates)",
+                ("satellite", "onset", "final km", "deficit km"),
+                [
+                    (
+                        a.catalog_number,
+                        a.decay_onset.isoformat() if a.decay_onset else "?",
+                        f"{a.final_altitude_km:.1f}",
+                        f"{a.final_deficit_km:.1f}",
+                    )
+                    for a in decayed
+                ],
+            )
+        )
+    else:
+        print("No permanent decays detected.")
+
+
+if __name__ == "__main__":
+    main()

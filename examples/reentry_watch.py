@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Re-entry watch: predict when decaying satellites come down.
+
+The paper motivates CosmicDance as a tool that "could signal corner
+cases, like premature orbital decay".  This example closes the loop:
+run the pipeline on the paper-window scenario, find the permanently
+decaying satellites, fit their descent, and predict their re-entry
+dates — then compare against the simulation's ground truth.
+
+Run:  python examples/reentry_watch.py
+"""
+
+import numpy as np
+
+from repro import CosmicDance
+from repro.core.ascii_chart import render_line_chart
+from repro.core.report import render_table
+from repro.simulation import paper_scenario
+from repro.simulation.satellite import SatelliteState
+
+
+def main() -> None:
+    print("Generating the paper-window scenario...")
+    scenario = paper_scenario(total_satellites=60)
+    pipeline = CosmicDance()
+    pipeline.ingest.add_dst(scenario.dst)
+    pipeline.ingest.add_elements(scenario.catalog.all_elements())
+    pipeline.run()
+
+    predictions = pipeline.reentry_predictions()
+    if not predictions:
+        print("No permanently decaying satellites in this run.")
+        return
+
+    truth_reentry = {}
+    for trajectory in scenario.trajectories:
+        if trajectory.reentered:
+            # First NaN altitude marks the true re-entry step.
+            idx = int(np.argmax(~np.isfinite(trajectory.altitude_km)))
+            truth_reentry[trajectory.catalog_number] = trajectory.times[idx]
+
+    rows = []
+    for prediction in sorted(predictions, key=lambda p: p.days_to_reentry):
+        true_unix = truth_reentry.get(prediction.catalog_number)
+        if true_unix is not None:
+            error_days = (prediction.reentry_epoch.unix - true_unix) / 86400.0
+            truth_cell = f"{error_days:+.1f} d vs truth"
+        else:
+            truth_cell = "beyond window"
+        rows.append(
+            (
+                prediction.catalog_number,
+                f"{prediction.last_altitude_km:.0f}",
+                f"{prediction.observed_rate_km_day:.2f}",
+                prediction.reentry_epoch.isoformat()[:10],
+                f"{prediction.days_to_reentry:.0f}",
+                truth_cell,
+            )
+        )
+    print(
+        render_table(
+            "Re-entry predictions for decaying satellites",
+            ("satellite", "last km", "km/day", "est. re-entry", "days", "validation"),
+            rows,
+        )
+    )
+
+    # Chart the steepest decayer.
+    worst = min(predictions, key=lambda p: p.observed_rate_km_day)
+    cleaned = pipeline.result.cleaned[worst.catalog_number]
+    series = cleaned.altitude_series()
+    days = (series.times - series.times[0]) / 86400.0
+    print()
+    print(
+        render_line_chart(
+            days,
+            series.values,
+            title=f"Satellite {worst.catalog_number}: observed decay [km vs days]",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

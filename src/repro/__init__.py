@@ -1,0 +1,52 @@
+"""CosmicDance: measuring low Earth orbital shifts due to solar radiations.
+
+A reproduction of the IMC 2024 paper's measurement pipeline plus every
+substrate it stands on: TLE handling, an SGP4-class propagator, Dst
+index tooling, a storm-driven thermosphere/drag model, and simulators
+standing in for the public datasets (see DESIGN.md).
+
+Quick start::
+
+    from repro import CosmicDance
+    from repro.simulation import quickstart_scenario
+
+    scenario = quickstart_scenario()
+    cd = CosmicDance()
+    cd.ingest.add_dst(scenario.dst)
+    cd.ingest.add_elements(scenario.catalog.all_elements())
+    result = cd.run()
+    print(len(result.storm_episodes), "storm episodes")
+"""
+
+from repro.core.config import CosmicDanceConfig
+from repro.core.pipeline import CosmicDance, PipelineResult
+from repro.spaceweather.dst import DstIndex
+from repro.spaceweather.scales import StormLevel, classify_dst
+from repro.spaceweather.storms import StormEpisode, detect_episodes
+from repro.time import Epoch
+from repro.timeseries import TimeSeries
+from repro.tle.catalog import SatelliteCatalog
+from repro.tle.elements import MeanElements
+from repro.tle.format import format_tle
+from repro.tle.parse import parse_tle, parse_tle_file
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CosmicDance",
+    "CosmicDanceConfig",
+    "DstIndex",
+    "Epoch",
+    "MeanElements",
+    "PipelineResult",
+    "SatelliteCatalog",
+    "StormEpisode",
+    "StormLevel",
+    "TimeSeries",
+    "classify_dst",
+    "detect_episodes",
+    "format_tle",
+    "parse_tle",
+    "parse_tle_file",
+    "__version__",
+]

@@ -1,0 +1,30 @@
+"""Thermospheric density and drag substrate.
+
+Models the physical mechanism the paper measures: geomagnetic storms
+heat and expand the upper atmosphere, raising the density a LEO
+satellite flies through, which raises drag and drives orbital decay.
+"""
+
+from repro.atmosphere.density import (
+    ThermosphereModel,
+    density_quiet_kg_m3,
+    storm_enhancement_factor,
+)
+from repro.atmosphere.drag import (
+    BallisticCoefficient,
+    STARLINK_BALLISTIC,
+    bstar_for_density_ratio,
+    decay_rate_km_per_day,
+    drag_acceleration_m_s2,
+)
+
+__all__ = [
+    "BallisticCoefficient",
+    "STARLINK_BALLISTIC",
+    "ThermosphereModel",
+    "bstar_for_density_ratio",
+    "decay_rate_km_per_day",
+    "density_quiet_kg_m3",
+    "drag_acceleration_m_s2",
+    "storm_enhancement_factor",
+]

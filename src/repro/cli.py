@@ -1,0 +1,355 @@
+"""Command-line interface.
+
+Subcommands mirror how the original tool is operated:
+
+* ``simulate`` — generate a scenario's data files (WDC Dst + TLE dumps)
+  into a cache directory, standing in for the WDC/Space-Track fetch;
+* ``storms``   — list storm episodes in a Dst file;
+* ``clean``    — run the TLE cleaning stage and report what it removed;
+* ``analyze``  — the full pipeline: storms, happens-closely-after
+  relations, and permanent-decay alarms;
+* ``report``   — the pipeline plus the full run-summary report;
+* ``lifetime`` — uncontrolled orbital-lifetime estimates;
+* ``triggers`` — LEOScope-style storm-triggered campaign schedules.
+
+Example session::
+
+    cosmicdance simulate --scenario quickstart --out ./cache
+    cosmicdance storms  --dst ./cache/dst.csv
+    cosmicdance analyze --cache ./cache
+    cosmicdance report  --cache ./cache
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import Sequence
+
+from repro.core.pipeline import CosmicDance
+from repro.core.report import render_table
+from repro.errors import ReproError
+from repro.io.csvio import read_dst_csv
+from repro.io.store import DataStore
+from repro.spaceweather.storms import detect_episodes
+from repro.spaceweather.wdc import parse_wdc
+
+
+def _load_dst(path: pathlib.Path):
+    """Load Dst from CSV or WDC format, sniffing by content."""
+    text = path.read_text()
+    if text.startswith("timestamp,"):
+        return read_dst_csv(text)
+    return parse_wdc(text)
+
+
+def _add_tle_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--tles",
+        nargs="*",
+        type=pathlib.Path,
+        default=[],
+        help="TLE text dumps (2LE or 3LE)",
+    )
+    parser.add_argument(
+        "--cache",
+        type=pathlib.Path,
+        help="DataStore directory holding dst.csv and tles/",
+    )
+
+
+def _hydrate(pipeline: CosmicDance, args: argparse.Namespace) -> None:
+    loaded_dst = False
+    if args.cache:
+        store = DataStore(args.cache)
+        dst = store.load_dst()
+        if dst is not None:
+            pipeline.ingest.add_dst(dst)
+            loaded_dst = True
+        catalog = store.load_catalog()
+        if catalog is not None:
+            pipeline.ingest.add_elements(catalog.all_elements())
+    if getattr(args, "dst", None):
+        pipeline.ingest.add_dst(_load_dst(args.dst))
+        loaded_dst = True
+    for tle_path in args.tles:
+        pipeline.ingest.add_tle_text(tle_path.read_text())
+    if not loaded_dst and not len(pipeline.ingest.catalog):
+        raise ReproError("no data: pass --dst/--tles or --cache")
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.simulation.scenario import (
+        may2024_scenario,
+        paper_scenario,
+        quickstart_scenario,
+    )
+
+    builders = {
+        "quickstart": quickstart_scenario,
+        "paper": paper_scenario,
+        "may2024": may2024_scenario,
+    }
+    scenario = builders[args.scenario](seed=args.seed)
+    store = DataStore(args.out)
+    store.save_dst(scenario.dst)
+    store.save_catalog(scenario.catalog)
+    print(
+        f"wrote scenario '{scenario.name}' to {args.out}: "
+        f"{len(scenario.catalog)} satellites, "
+        f"{scenario.catalog.total_records()} TLEs, "
+        f"{len(scenario.dst)} Dst hours"
+    )
+    return 0
+
+
+def cmd_storms(args: argparse.Namespace) -> int:
+    dst = _load_dst(args.dst)
+    if args.threshold is not None:
+        threshold = args.threshold
+    else:
+        threshold = dst.intensity_percentile(args.percentile)
+    episodes = detect_episodes(dst, threshold, merge_gap_hours=args.merge_gap)
+    print(
+        render_table(
+            f"Storm episodes at/below {threshold:.1f} nT",
+            ("start", "end", "peak nT", "hours", "level"),
+            [
+                (
+                    e.start.isoformat(),
+                    e.end.isoformat(),
+                    f"{e.peak_nt:.0f}",
+                    e.duration_hours,
+                    e.level.name,
+                )
+                for e in episodes
+            ],
+        )
+    )
+    return 0
+
+
+def cmd_clean(args: argparse.Namespace) -> int:
+    pipeline = CosmicDance()
+    # Cleaning needs no Dst; hydrate TLEs only.
+    if args.cache:
+        catalog = DataStore(args.cache).load_catalog()
+        if catalog is not None:
+            pipeline.ingest.add_elements(catalog.all_elements())
+    for tle_path in args.tles:
+        pipeline.ingest.add_tle_text(tle_path.read_text())
+    if not len(pipeline.ingest.catalog):
+        raise ReproError("no TLEs: pass --tles or --cache")
+
+    from repro.core.cleaning import clean_catalog
+
+    cleaned, report = clean_catalog(pipeline.ingest.catalog)
+    print(
+        render_table(
+            "Cleaning report",
+            ("metric", "count"),
+            [
+                ("total records", report.total_records),
+                ("gross tracking errors", report.gross_errors),
+                ("orbit-raising records", report.orbit_raising),
+                ("kept", report.kept),
+                ("satellites kept", len(cleaned)),
+            ],
+        )
+    )
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    pipeline = CosmicDance()
+    _hydrate(pipeline, args)
+    result = pipeline.run()
+
+    print(
+        render_table(
+            f"Storm episodes (>{pipeline.config.event_percentile:.0f}th-ptile, "
+            f"threshold {result.event_threshold_nt:.1f} nT)",
+            ("start", "peak nT", "hours"),
+            [
+                (e.start.isoformat(), f"{e.peak_nt:.0f}", e.duration_hours)
+                for e in result.storm_episodes
+            ],
+        )
+    )
+    print()
+    print(
+        render_table(
+            "Trajectory changes happening closely after storms",
+            ("satellite", "kind", "when", "lag h"),
+            [
+                (
+                    a.event.catalog_number,
+                    a.event.kind.value,
+                    a.event.epoch.isoformat(),
+                    f"{a.lag_hours:.1f}",
+                )
+                for a in result.associations
+            ],
+        )
+    )
+    print()
+    decayed = result.permanently_decayed
+    print(
+        render_table(
+            "Permanent decays",
+            ("satellite", "final km", "deficit km"),
+            [
+                (a.catalog_number, f"{a.final_altitude_km:.1f}", f"{a.final_deficit_km:.1f}")
+                for a in decayed
+            ],
+        )
+    )
+    return 0
+
+
+def cmd_lifetime(args: argparse.Namespace) -> int:
+    from repro.atmosphere.lifetime import orbital_lifetime
+
+    estimate = orbital_lifetime(
+        args.altitude,
+        density_multiplier=args.density_multiplier,
+        max_days=args.max_days,
+    )
+    if estimate.truncated:
+        print(
+            f"altitude {args.altitude:.0f} km: no re-entry within "
+            f"{args.max_days:.0f} days"
+        )
+    else:
+        print(
+            f"altitude {args.altitude:.0f} km: uncontrolled re-entry in "
+            f"{estimate.days:.1f} days "
+            f"(density x{args.density_multiplier:g})"
+        )
+    return 0
+
+
+def cmd_triggers(args: argparse.Namespace) -> int:
+    from repro.core.triggers import TriggerPolicy, schedule_campaigns
+
+    dst = _load_dst(args.dst)
+    threshold = (
+        args.threshold
+        if args.threshold is not None
+        else dst.intensity_percentile(args.percentile)
+    )
+    episodes = detect_episodes(dst, threshold)
+    campaigns = schedule_campaigns(
+        episodes, TriggerPolicy(min_gap_hours=args.min_gap_hours)
+    )
+    print(
+        render_table(
+            f"Measurement campaigns for storms at/below {threshold:.1f} nT",
+            ("baseline start", "active start", "active end", "priority", "trigger nT"),
+            [
+                (
+                    c.baseline_start.isoformat(),
+                    c.active_start.isoformat(),
+                    c.active_end.isoformat(),
+                    c.priority,
+                    f"{c.trigger.peak_nt:.0f}",
+                )
+                for c in campaigns
+            ],
+        )
+    )
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.core.summary import summarize_run
+
+    pipeline = CosmicDance()
+    _hydrate(pipeline, args)
+    result = pipeline.run()
+    print(summarize_run(result))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="cosmicdance",
+        description="Measure LEO orbital shifts due to solar radiations.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    simulate = subparsers.add_parser(
+        "simulate", help="generate scenario data into a cache directory"
+    )
+    simulate.add_argument(
+        "--scenario",
+        choices=("quickstart", "paper", "may2024"),
+        default="quickstart",
+    )
+    simulate.add_argument("--seed", type=int, default=2)
+    simulate.add_argument("--out", type=pathlib.Path, required=True)
+    simulate.set_defaults(func=cmd_simulate)
+
+    storms = subparsers.add_parser("storms", help="list storm episodes")
+    storms.add_argument("--dst", type=pathlib.Path, required=True,
+                        help="Dst file (CSV or WDC format)")
+    storms.add_argument("--percentile", type=float, default=99.0)
+    storms.add_argument("--threshold", type=float, default=None,
+                        help="explicit Dst threshold [nT] (overrides --percentile)")
+    storms.add_argument("--merge-gap", type=int, default=0)
+    storms.set_defaults(func=cmd_storms)
+
+    clean = subparsers.add_parser("clean", help="run the TLE cleaning stage")
+    _add_tle_arguments(clean)
+    clean.set_defaults(func=cmd_clean)
+
+    analyze = subparsers.add_parser("analyze", help="run the full pipeline")
+    analyze.add_argument("--dst", type=pathlib.Path, default=None)
+    _add_tle_arguments(analyze)
+    analyze.set_defaults(func=cmd_analyze)
+
+    report = subparsers.add_parser(
+        "report", help="run the pipeline and print the full summary report"
+    )
+    report.add_argument("--dst", type=pathlib.Path, default=None)
+    _add_tle_arguments(report)
+    report.set_defaults(func=cmd_report)
+
+    lifetime = subparsers.add_parser(
+        "lifetime", help="estimate uncontrolled orbital lifetime"
+    )
+    lifetime.add_argument("--altitude", type=float, required=True,
+                          help="starting altitude [km]")
+    lifetime.add_argument("--density-multiplier", type=float, default=1.0,
+                          help="thermosphere density factor (storms: 2-5)")
+    lifetime.add_argument("--max-days", type=float, default=36525.0)
+    lifetime.set_defaults(func=cmd_lifetime)
+
+    triggers = subparsers.add_parser(
+        "triggers", help="schedule storm-triggered measurement campaigns"
+    )
+    triggers.add_argument("--dst", type=pathlib.Path, required=True)
+    triggers.add_argument("--percentile", type=float, default=99.0)
+    triggers.add_argument("--threshold", type=float, default=None)
+    triggers.add_argument("--min-gap-hours", type=float, default=24.0)
+    triggers.set_defaults(func=cmd_triggers)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

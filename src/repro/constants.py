@@ -1,0 +1,73 @@
+"""Physical and astrodynamic constants used throughout the library.
+
+The gravity values follow the WGS-72 model, which is the model the
+operational SGP4 propagator (and therefore the TLE ecosystem the paper
+consumes) is defined against.  WGS-84 values are provided for geodetic
+conversions.
+"""
+
+from __future__ import annotations
+
+import math
+
+# --- WGS-72 gravity model (canonical for SGP4 / TLEs) -------------------
+#: Earth gravitational parameter [km^3/s^2] (WGS-72).
+MU_EARTH_KM3_S2 = 398600.8
+#: Earth equatorial radius [km] (WGS-72).
+EARTH_RADIUS_KM = 6378.135
+#: Second zonal harmonic (WGS-72).
+J2 = 0.001082616
+#: Third zonal harmonic (WGS-72).
+J3 = -0.00000253881
+#: Fourth zonal harmonic (WGS-72).
+J4 = -0.00000165597
+
+# --- WGS-84 (used only for geodetic lat/lon conversions) -----------------
+#: Earth equatorial radius [km] (WGS-84).
+WGS84_RADIUS_KM = 6378.137
+#: WGS-84 flattening.
+WGS84_FLATTENING = 1.0 / 298.257223563
+
+# --- Time ----------------------------------------------------------------
+#: Seconds in a solar day.
+SECONDS_PER_DAY = 86400.0
+#: Minutes in a solar day (SGP4 works in minutes).
+MINUTES_PER_DAY = 1440.0
+#: Julian date of the Unix epoch 1970-01-01T00:00:00 UTC.
+JD_UNIX_EPOCH = 2440587.5
+#: Julian date of J2000.0 (2000-01-01T12:00:00 TT, used for GMST).
+JD_J2000 = 2451545.0
+#: Julian century in days.
+JULIAN_CENTURY_DAYS = 36525.0
+
+# --- Derived SGP4 canonical units ----------------------------------------
+#: Earth radii per minute to km/s conversion uses this; ke = sqrt(mu) in
+#: canonical units (er^1.5 / min).
+XKE = 60.0 / math.sqrt(EARTH_RADIUS_KM**3 / MU_EARTH_KM3_S2)
+#: 2/3 as used repeatedly by SGP4.
+TWO_THIRDS = 2.0 / 3.0
+
+# --- Atmosphere -----------------------------------------------------------
+#: Reference thermospheric density at 550 km, quiet conditions [kg/m^3].
+#: Order of magnitude from empirical models (NRLMSISE-00 class).
+RHO_550KM_QUIET_KG_M3 = 2.5e-13
+#: Quiet-time thermospheric scale height near 550 km [km].
+SCALE_HEIGHT_550KM_KM = 65.0
+
+# --- Starlink-like spacecraft (public figures / FCC filings) --------------
+#: Starlink v1.0 satellite mass [kg] (public figure ~260 kg).
+STARLINK_MASS_KG = 260.0
+#: Starlink v1.0 frontal cross-section area [m^2] (order of magnitude).
+STARLINK_AREA_M2 = 20.0
+#: Canonical drag coefficient for a flat-panel LEO satellite.
+DRAG_COEFFICIENT = 2.2
+
+# --- Geomagnetic ----------------------------------------------------------
+#: Dst level below which geomagnetic activity is considered high [nT].
+DST_ACTIVE_THRESHOLD_NT = -50.0
+#: Recorded intensity of the 1859 Carrington event [nT].
+CARRINGTON_DST_NT = -1800.0
+#: Peak intensity of the May 2024 super-storm [nT].
+MAY_2024_PEAK_DST_NT = -412.0
+
+TAU = 2.0 * math.pi

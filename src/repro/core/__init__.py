@@ -1,0 +1,80 @@
+"""CosmicDance core: the paper's measurement pipeline.
+
+Ingests solar-activity and satellite-trajectory data, orders them in
+time, cleans the TLE histories, detects storm episodes, and establishes
+*happens-closely-after* relations between solar events and satellite
+trajectory changes (paper §3), powering the analyses of §4-§5.
+"""
+
+from repro.core.analysis import (
+    AltitudeChangeSample,
+    DragChangeSample,
+    FleetDragDay,
+    altitude_change_samples,
+    drag_change_samples,
+    fleet_drag_daily,
+    quiet_epochs,
+)
+from repro.core.cleaning import CleanedHistory, CleaningConfig, CleaningReport, clean_catalog, clean_history
+from repro.core.config import CosmicDanceConfig
+from repro.core.decay import DecayAssessment, assess_decay, is_decaying_at, long_term_median_altitude
+from repro.core.pipeline import CosmicDance, PipelineResult
+from repro.core.relations import (
+    Association,
+    TrajectoryEvent,
+    TrajectoryEventKind,
+    associate,
+    detect_decay_onsets,
+    detect_drag_spikes,
+)
+from repro.core.attribution import StormImpact, storm_impact_ledger
+from repro.core.conjunction import ConjunctionReport, TrespassEvent, conjunction_report, detect_trespasses
+from repro.core.geography import BandExposure, latitude_at, storm_band_exposure
+from repro.core.prediction import ReentryPrediction, predict_fleet_reentries, predict_reentry
+from repro.core.triggers import MeasurementCampaign, TriggerPolicy, schedule_campaigns
+from repro.core.windows import AltitudeChangeCurves, post_event_curves
+
+__all__ = [
+    "AltitudeChangeCurves",
+    "AltitudeChangeSample",
+    "Association",
+    "BandExposure",
+    "ConjunctionReport",
+    "MeasurementCampaign",
+    "ReentryPrediction",
+    "StormImpact",
+    "TrespassEvent",
+    "TriggerPolicy",
+    "CleanedHistory",
+    "CleaningConfig",
+    "CleaningReport",
+    "CosmicDance",
+    "CosmicDanceConfig",
+    "DecayAssessment",
+    "DragChangeSample",
+    "FleetDragDay",
+    "PipelineResult",
+    "TrajectoryEvent",
+    "TrajectoryEventKind",
+    "altitude_change_samples",
+    "assess_decay",
+    "associate",
+    "clean_catalog",
+    "clean_history",
+    "conjunction_report",
+    "detect_trespasses",
+    "latitude_at",
+    "predict_fleet_reentries",
+    "predict_reentry",
+    "schedule_campaigns",
+    "storm_band_exposure",
+    "storm_impact_ledger",
+    "detect_decay_onsets",
+    "detect_drag_spikes",
+    "drag_change_samples",
+    "fleet_drag_daily",
+    "is_decaying_at",
+    "long_term_median_altitude",
+    "post_event_curves",
+    "quiet_epochs",
+]

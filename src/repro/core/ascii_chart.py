@@ -1,0 +1,111 @@
+"""ASCII chart rendering for terminal-only environments.
+
+The benchmarks run where no plotting stack exists, so the figure data
+is also rendered as simple text charts: a time-series line chart and a
+CDF staircase, both fixed-width character grids.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.timeseries.stats import CDF
+
+
+def _scale(value: float, lo: float, hi: float, size: int) -> int:
+    if hi <= lo:
+        return 0
+    pos = (value - lo) / (hi - lo)
+    return min(size - 1, max(0, int(round(pos * (size - 1)))))
+
+
+def render_line_chart(
+    xs: Sequence[float] | np.ndarray,
+    ys: Sequence[float] | np.ndarray,
+    *,
+    title: str = "",
+    width: int = 72,
+    height: int = 14,
+    y_label: str = "",
+    marker: str = "*",
+) -> str:
+    """Render (x, y) samples as a character grid with axis labels."""
+    if width < 12 or height < 4:
+        raise ReproError("chart too small to render")
+    xs = np.asarray(xs, dtype=np.float64)
+    ys = np.asarray(ys, dtype=np.float64)
+    if xs.shape != ys.shape:
+        raise ReproError("xs and ys must be the same length")
+    finite = np.isfinite(xs) & np.isfinite(ys)
+    xs, ys = xs[finite], ys[finite]
+    if xs.size == 0:
+        return f"{title}\n(no data)"
+
+    x_lo, x_hi = float(xs.min()), float(xs.max())
+    y_lo, y_hi = float(ys.min()), float(ys.max())
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in zip(xs, ys):
+        col = _scale(x, x_lo, x_hi, width)
+        row = height - 1 - _scale(y, y_lo, y_hi, height)
+        grid[row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    label_width = 10
+    for i, row in enumerate(grid):
+        if i == 0:
+            label = f"{y_hi:9.2f} "
+        elif i == height - 1:
+            label = f"{y_lo:9.2f} "
+        elif i == height // 2:
+            label = f"{(y_lo + y_hi) / 2:9.2f} "
+        else:
+            label = " " * label_width
+        lines.append(label + "|" + "".join(row))
+    lines.append(" " * label_width + "+" + "-" * width)
+    footer = f"{x_lo:<12.2f}{'':^{max(0, width - 24)}}{x_hi:>12.2f}"
+    lines.append(" " * (label_width + 1) + footer[: width + 1])
+    if y_label:
+        lines.append(f"(y: {y_label})")
+    return "\n".join(lines)
+
+
+def render_cdf_chart(
+    cdf: CDF,
+    *,
+    title: str = "",
+    width: int = 72,
+    height: int = 14,
+    log_x: bool = False,
+) -> str:
+    """Render an empirical CDF as a staircase chart.
+
+    ``log_x`` plots the quantile axis in log10 — useful for the paper's
+    long-tailed altitude-change distributions.
+    """
+    if not len(cdf):
+        return f"{title}\n(no data)"
+    xs = cdf.xs.astype(float)
+    if log_x:
+        positive = xs[xs > 0]
+        if positive.size == 0:
+            return f"{title}\n(no positive data for log axis)"
+        floor = float(positive.min())
+        xs = np.log10(np.maximum(xs, floor))
+    chart = render_line_chart(
+        xs,
+        cdf.ps,
+        title=title,
+        width=width,
+        height=height,
+        y_label="P(X <= x)" + (" — x in log10" if log_x else ""),
+        marker="#",
+    )
+    return chart

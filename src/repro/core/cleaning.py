@@ -1,0 +1,148 @@
+"""TLE cleaning — the paper's §3 "Cleaning the data" / §A.2 steps.
+
+Three filters, applied per satellite:
+
+1. **gross tracking errors**: records whose mean-motion-implied
+   altitude falls outside the plausible operating range (the paper cuts
+   above 650 km; the raw CDF's tail reaches ~40,000 km — Fig. 10(a));
+2. **orbit raising**: the initial staging + raising window, during
+   which trajectories change rapidly regardless of space weather;
+3. (performed later, per event, by :mod:`repro.core.decay`): satellites
+   that had already started decaying before a solar event.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import CosmicDanceConfig
+from repro.time import Epoch
+from repro.timeseries import TimeSeries
+from repro.tle.catalog import SatelliteCatalog, SatelliteHistory
+from repro.tle.elements import MeanElements
+
+#: Re-exported alias: cleaning is configured through the pipeline config.
+CleaningConfig = CosmicDanceConfig
+
+
+@dataclass(frozen=True, slots=True)
+class CleaningReport:
+    """Bookkeeping of what cleaning removed."""
+
+    total_records: int
+    gross_errors: int
+    orbit_raising: int
+    kept: int
+
+    def __add__(self, other: "CleaningReport") -> "CleaningReport":
+        return CleaningReport(
+            self.total_records + other.total_records,
+            self.gross_errors + other.gross_errors,
+            self.orbit_raising + other.orbit_raising,
+            self.kept + other.kept,
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class CleanedHistory:
+    """One satellite's history after cleaning."""
+
+    catalog_number: int
+    #: Cleaned element sets, epoch-ordered.
+    elements: tuple[MeanElements, ...]
+    #: Epoch at which orbit raising ended (first kept record).
+    operational_from: Epoch | None
+    report: CleaningReport
+
+    def __len__(self) -> int:
+        return len(self.elements)
+
+    def altitude_series(self) -> TimeSeries:
+        """Altitude [km] vs time over the cleaned records."""
+        return TimeSeries(
+            [e.epoch.unix for e in self.elements],
+            [e.altitude_km for e in self.elements],
+        )
+
+    def bstar_series(self) -> TimeSeries:
+        """B* drag vs time over the cleaned records."""
+        return TimeSeries(
+            [e.epoch.unix for e in self.elements],
+            [e.bstar for e in self.elements],
+        )
+
+
+def _find_raising_end(
+    altitudes: np.ndarray, config: CosmicDanceConfig
+) -> int:
+    """Index of the first operational record.
+
+    The long-term altitude is the median of the record tail (satellites
+    spend most of their cleaned history on station, and using the tail
+    makes the estimate robust to a long staging prefix).  Orbit raising
+    is over at the first record within tolerance of that altitude.
+    A satellite that never reaches its long-term altitude — e.g. lost
+    from the staging orbit, as in the Feb 2022 incident — keeps all its
+    records: there is no raising phase to cut.
+    """
+    if altitudes.size == 0:
+        return 0
+    tail = altitudes[altitudes.size // 2 :]
+    long_term = float(np.median(tail))
+    within = np.flatnonzero(altitudes >= long_term - config.orbit_raising_tolerance_km)
+    if within.size == 0:
+        return 0
+    return int(within[0])
+
+
+def clean_history(
+    history: SatelliteHistory, config: CosmicDanceConfig | None = None
+) -> CleanedHistory:
+    """Apply the gross-error and orbit-raising filters to one satellite."""
+    config = config or CosmicDanceConfig()
+    records = list(history)
+    total = len(records)
+
+    in_range = [
+        e
+        for e in records
+        if config.min_valid_altitude_km <= e.altitude_km <= config.max_valid_altitude_km
+    ]
+    gross = total - len(in_range)
+
+    altitudes = np.array([e.altitude_km for e in in_range])
+    start_idx = _find_raising_end(altitudes, config)
+    kept = in_range[start_idx:]
+    report = CleaningReport(
+        total_records=total,
+        gross_errors=gross,
+        orbit_raising=start_idx,
+        kept=len(kept),
+    )
+    return CleanedHistory(
+        catalog_number=history.catalog_number,
+        elements=tuple(kept),
+        operational_from=kept[0].epoch if kept else None,
+        report=report,
+    )
+
+
+def clean_catalog(
+    catalog: SatelliteCatalog, config: CosmicDanceConfig | None = None
+) -> tuple[dict[int, CleanedHistory], CleaningReport]:
+    """Clean every satellite in a catalog.
+
+    Returns the per-satellite cleaned histories (satellites left with
+    no records are dropped) and the aggregate report.
+    """
+    config = config or CosmicDanceConfig()
+    cleaned: dict[int, CleanedHistory] = {}
+    totals = CleaningReport(0, 0, 0, 0)
+    for history in catalog:
+        result = clean_history(history, config)
+        totals = totals + result.report
+        if len(result):
+            cleaned[history.catalog_number] = result
+    return cleaned, totals

@@ -1,0 +1,143 @@
+"""Decay assessment: the paper's third cleaning rule and the
+premature-orbital-decay corner case CosmicDance is designed to signal.
+
+*Already decaying* (§3): if the difference between a satellite's
+altitude immediately before a solar event and its long-term median
+altitude exceeds 5 km, the satellite was decaying before the event and
+is excluded from that event's analysis.
+
+*Permanent decay*: a satellite whose altitude falls well below its
+long-term median and never recovers by the end of its record — either
+still descending (derelict/deorbiting) or gone entirely (re-entered).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.cleaning import CleanedHistory
+from repro.core.config import CosmicDanceConfig
+from repro.errors import PipelineError
+from repro.time import Epoch
+
+
+class DecayState(enum.Enum):
+    """End-of-record decay classification."""
+
+    #: Holding its long-term altitude.
+    STATION_KEPT = "station-kept"
+    #: Below its long-term altitude but within the recoverable band.
+    PERTURBED = "perturbed"
+    #: Persistently descending, no recovery by end of record.
+    PERMANENT_DECAY = "permanent-decay"
+
+
+@dataclass(frozen=True, slots=True)
+class DecayAssessment:
+    """Decay assessment of one satellite."""
+
+    catalog_number: int
+    state: DecayState
+    long_term_median_km: float
+    final_altitude_km: float
+    #: Total drop below the long-term median at end of record [km].
+    final_deficit_km: float
+    #: When the terminal descent began (permanent decay only).
+    decay_onset: Epoch | None
+
+
+def long_term_median_altitude(cleaned: CleanedHistory) -> float:
+    """The satellite's long-term median altitude [km] (§3's baseline)."""
+    if not len(cleaned):
+        raise PipelineError(
+            f"satellite {cleaned.catalog_number} has no cleaned records"
+        )
+    return float(np.median([e.altitude_km for e in cleaned.elements]))
+
+
+def altitude_immediately_before(
+    cleaned: CleanedHistory, when: Epoch
+) -> float | None:
+    """Most recent cleaned altitude before *when* (None if none exists)."""
+    best = None
+    for element in cleaned.elements:
+        if element.epoch.unix >= when.unix:
+            break
+        best = element.altitude_km
+    return best
+
+
+def is_decaying_at(
+    cleaned: CleanedHistory,
+    when: Epoch,
+    config: CosmicDanceConfig | None = None,
+) -> bool:
+    """The paper's 5 km rule: had the satellite already started decaying?
+
+    True when no pre-event altitude exists (the satellite cannot be
+    attributed) or the pre-event altitude sits more than the threshold
+    below the long-term median.
+    """
+    config = config or CosmicDanceConfig()
+    before = altitude_immediately_before(cleaned, when)
+    if before is None:
+        return True
+    median = long_term_median_altitude(cleaned)
+    return (median - before) > config.already_decaying_threshold_km
+
+
+def assess_decay(
+    cleaned: CleanedHistory,
+    config: CosmicDanceConfig | None = None,
+) -> DecayAssessment:
+    """Classify the satellite's end-of-record decay state."""
+    config = config or CosmicDanceConfig()
+    if not len(cleaned):
+        raise PipelineError(
+            f"satellite {cleaned.catalog_number} has no cleaned records"
+        )
+    median = long_term_median_altitude(cleaned)
+    altitudes = np.array([e.altitude_km for e in cleaned.elements])
+    final = float(altitudes[-1])
+    deficit = median - final
+
+    if deficit <= config.already_decaying_threshold_km:
+        state = DecayState.STATION_KEPT
+        onset = None
+    elif deficit <= config.permanent_decay_threshold_km:
+        state = DecayState.PERTURBED
+        onset = None
+    else:
+        state = DecayState.PERMANENT_DECAY
+        onset = _decay_onset(cleaned, altitudes, median, config)
+
+    return DecayAssessment(
+        catalog_number=cleaned.catalog_number,
+        state=state,
+        long_term_median_km=median,
+        final_altitude_km=final,
+        final_deficit_km=deficit,
+        decay_onset=onset,
+    )
+
+
+def _decay_onset(
+    cleaned: CleanedHistory,
+    altitudes: np.ndarray,
+    median: float,
+    config: CosmicDanceConfig,
+) -> Epoch:
+    """When the terminal descent began.
+
+    Walk back from the end of the record to the last time the satellite
+    was still within the already-decaying threshold of its median; the
+    onset is the first record after that.
+    """
+    threshold = median - config.already_decaying_threshold_km
+    above = np.flatnonzero(altitudes >= threshold)
+    onset_idx = int(above[-1]) + 1 if above.size else 0
+    onset_idx = min(onset_idx, len(cleaned.elements) - 1)
+    return cleaned.elements[onset_idx].epoch

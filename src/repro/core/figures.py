@@ -1,0 +1,282 @@
+"""Programmatic builders for the paper's figures.
+
+Each function computes the data series behind one figure of the paper
+from pipeline results, returning plain typed containers.  The benchmark
+suite consumes these; downstream users can call them directly on real
+WDC/Space-Track data to regenerate the paper's analyses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.analysis import (
+    FleetDragDay,
+    altitude_change_samples,
+    drag_change_samples,
+    fleet_drag_daily,
+    quiet_epochs,
+)
+from repro.core.config import CosmicDanceConfig
+from repro.core.pipeline import PipelineResult
+from repro.core.windows import AltitudeChangeCurves, post_event_curves
+from repro.spaceweather.dst import DstIndex
+from repro.spaceweather.scales import StormLevel
+from repro.spaceweather.storms import (
+    DurationStats,
+    detect_episodes,
+    duration_stats,
+    episodes_by_level,
+)
+from repro.time import Epoch
+from repro.timeseries.stats import CDF, empirical_cdf
+
+
+# --- Fig. 1 ---------------------------------------------------------------
+@dataclass(frozen=True, slots=True)
+class IntensityDistribution:
+    """Fig. 1: the window's storm-intensity distribution."""
+
+    cdf: CDF
+    percentiles: dict[float, float]
+    band_hours: dict[StormLevel, int]
+
+
+def fig1_intensity_distribution(
+    dst: DstIndex,
+    *,
+    percentiles: tuple[float, ...] = (50.0, 80.0, 90.0, 95.0, 99.0, 100.0),
+) -> IntensityDistribution:
+    """Compute the Fig. 1 distribution over *dst*."""
+    return IntensityDistribution(
+        cdf=empirical_cdf(dst.series),
+        percentiles={q: dst.intensity_percentile(q) for q in percentiles},
+        band_hours=dst.level_hour_counts(),
+    )
+
+
+# --- Fig. 2 ---------------------------------------------------------------
+def fig2_storm_durations(dst: DstIndex) -> dict[StormLevel, DurationStats]:
+    """Fig. 2: per-category storm duration statistics."""
+    return {
+        level: duration_stats(episodes)
+        for level, episodes in episodes_by_level(dst).items()
+    }
+
+
+# --- Fig. 3 ---------------------------------------------------------------
+def fig3_select_satellites(result: PipelineResult, *, count: int = 3) -> list[int]:
+    """Pick the figure's satellites: strongest storm-associated events.
+
+    The paper cherry-picks satellites showing interesting trajectory
+    changes; the reproducible equivalent ranks the happens-closely-
+    after associations by magnitude — decay onsets first (the deepest
+    stories), then drag spikes.
+    """
+    from repro.core.relations import TrajectoryEventKind
+
+    decays = sorted(
+        (
+            a for a in result.associations
+            if a.event.kind is TrajectoryEventKind.DECAY_ONSET
+        ),
+        key=lambda a: -a.event.magnitude,
+    )
+    spikes = sorted(
+        (
+            a for a in result.associations
+            if a.event.kind is TrajectoryEventKind.DRAG_SPIKE
+        ),
+        key=lambda a: -a.event.magnitude,
+    )
+    chosen: list[int] = []
+    for pool in (decays, spikes):
+        for association in pool:
+            number = association.event.catalog_number
+            if number not in chosen:
+                chosen.append(number)
+            if len(chosen) >= count:
+                return chosen
+    return chosen
+
+
+def fig3_timelines(result: PipelineResult, catalog_numbers: list[int]):
+    """Merged Dst/altitude/B* timelines for the chosen satellites."""
+    from repro.core.ordering import satellite_timeline
+
+    timelines = []
+    for number in catalog_numbers:
+        cleaned = result.cleaned.get(number)
+        if cleaned is None:
+            continue
+        timelines.append(satellite_timeline(cleaned, result.dst))
+    return timelines
+
+
+# --- Fig. 4 ---------------------------------------------------------------
+@dataclass(frozen=True, slots=True)
+class StormVsQuiet:
+    """Fig. 4: post-storm vs quiet-window deviation curves."""
+
+    storm_event: Epoch
+    storm_curves: AltitudeChangeCurves
+    quiet_epoch: Epoch | None
+    quiet_curves: AltitudeChangeCurves | None
+
+
+def fig4_storm_vs_quiet(
+    result: PipelineResult,
+    event: Epoch,
+    *,
+    config: CosmicDanceConfig | None = None,
+    quiet_seed: int = 3,
+) -> StormVsQuiet:
+    """Fig. 4(a)+(b) for one chosen storm event."""
+    config = config or result.config
+    storm_curves = post_event_curves(
+        result.cleaned, event, config=config, affected_only=True
+    )
+    quiet = quiet_epochs(result.dst, config=config, count=1, seed=quiet_seed)
+    quiet_curves = (
+        post_event_curves(
+            result.cleaned,
+            quiet[0],
+            config=config,
+            window_days=config.quiet_window_days,
+            affected_only=False,
+        )
+        if quiet
+        else None
+    )
+    return StormVsQuiet(
+        storm_event=event,
+        storm_curves=storm_curves,
+        quiet_epoch=quiet[0] if quiet else None,
+        quiet_curves=quiet_curves,
+    )
+
+
+# --- Fig. 5 ---------------------------------------------------------------
+@dataclass(frozen=True, slots=True)
+class IntensityInfluence:
+    """Fig. 5: intensity-conditioned change distributions."""
+
+    quiet_altitude_cdf: CDF
+    storm_altitude_cdf: CDF
+    quiet_drag_cdf: CDF
+    storm_drag_cdf: CDF
+    storm_event_count: int
+    quiet_epoch_count: int
+
+
+def fig5_intensity_influence(
+    result: PipelineResult,
+    *,
+    config: CosmicDanceConfig | None = None,
+    quiet_count: int = 12,
+    quiet_seed: int = 1,
+) -> IntensityInfluence:
+    """Fig. 5(a,b,c): changes below the quiet vs above the high
+    percentile."""
+    config = config or result.config
+    high_threshold = result.dst.intensity_percentile(config.high_percentile)
+    storm_events = [e.start for e in detect_episodes(result.dst, high_threshold)]
+    quiet_events = quiet_epochs(
+        result.dst, config=config, count=quiet_count, seed=quiet_seed
+    )
+
+    def alt_cdf(events: list[Epoch]) -> CDF:
+        samples = altitude_change_samples(result.cleaned, events, config=config)
+        return empirical_cdf(np.array([s.max_change_km for s in samples]))
+
+    def drag_cdf(events: list[Epoch]) -> CDF:
+        samples = drag_change_samples(result.cleaned, events, config=config)
+        return empirical_cdf(np.array([s.ratio for s in samples]))
+
+    return IntensityInfluence(
+        quiet_altitude_cdf=alt_cdf(quiet_events),
+        storm_altitude_cdf=alt_cdf(storm_events),
+        quiet_drag_cdf=drag_cdf(quiet_events),
+        storm_drag_cdf=drag_cdf(storm_events),
+        storm_event_count=len(storm_events),
+        quiet_epoch_count=len(quiet_events),
+    )
+
+
+# --- Fig. 6 ---------------------------------------------------------------
+@dataclass(frozen=True, slots=True)
+class DurationInfluence:
+    """Fig. 6: duration-conditioned change distributions."""
+
+    median_duration_hours: float
+    short_altitude_cdf: CDF
+    long_altitude_cdf: CDF
+    short_drag_cdf: CDF
+    long_drag_cdf: CDF
+
+
+def fig6_duration_influence(
+    result: PipelineResult,
+    *,
+    config: CosmicDanceConfig | None = None,
+) -> DurationInfluence:
+    """Fig. 6(a,b,c): event-threshold storms split at the median
+    episode duration (the paper's 9 h split)."""
+    config = config or result.config
+    episodes = result.storm_episodes
+    durations = np.array([e.duration_hours for e in episodes], dtype=float)
+    median_duration = float(np.median(durations)) if durations.size else float("nan")
+    short = [e.start for e in episodes if e.duration_hours < median_duration]
+    long = [e.start for e in episodes if e.duration_hours >= median_duration]
+
+    def alt_cdf(events: list[Epoch]) -> CDF:
+        samples = altitude_change_samples(result.cleaned, events, config=config)
+        return empirical_cdf(np.array([s.max_change_km for s in samples]))
+
+    def drag_cdf(events: list[Epoch]) -> CDF:
+        samples = drag_change_samples(result.cleaned, events, config=config)
+        return empirical_cdf(np.array([s.ratio for s in samples]))
+
+    return DurationInfluence(
+        median_duration_hours=median_duration,
+        short_altitude_cdf=alt_cdf(short),
+        long_altitude_cdf=alt_cdf(long),
+        short_drag_cdf=drag_cdf(short),
+        long_drag_cdf=drag_cdf(long),
+    )
+
+
+# --- Fig. 7 ---------------------------------------------------------------
+def fig7_fleet_drag(
+    result: PipelineResult,
+    start: Epoch,
+    end: Epoch,
+) -> list[FleetDragDay]:
+    """Fig. 7: daily fleet drag statistics + tracked counts."""
+    return fleet_drag_daily(result.cleaned, result.dst, start, end)
+
+
+# --- Fig. 10 ---------------------------------------------------------------
+@dataclass(frozen=True, slots=True)
+class CleaningCdfs:
+    """Fig. 10: altitude CDFs before and after cleaning."""
+
+    raw_cdf: CDF
+    cleaned_cdf: CDF
+
+
+def fig10_cleaning_cdfs(result: PipelineResult, raw_altitudes: np.ndarray) -> CleaningCdfs:
+    """Fig. 10(a,b) from the raw record altitudes plus the cleaned set."""
+    cleaned_altitudes = np.concatenate(
+        [
+            np.array([e.altitude_km for e in history.elements])
+            for history in result.cleaned.values()
+        ]
+        or [np.empty(0)]
+    )
+    return CleaningCdfs(
+        raw_cdf=empirical_cdf(raw_altitudes),
+        cleaned_cdf=empirical_cdf(cleaned_altitudes),
+    )

@@ -1,0 +1,117 @@
+"""Latitude-band analysis (paper §6, "Finer granularity").
+
+The paper notes that higher latitudes are more exposed to storms and
+proposes latitude-band-wise analyses once TLEs refresh fast enough.
+With the SGP4 substrate we can do this today for any element set: each
+TLE is propagated across the hours of a storm episode and its geodetic
+latitude is attributed to bands, yielding per-band storm exposure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.cleaning import CleanedHistory
+from repro.errors import PipelineError, PropagationError
+from repro.sgp4 import SGP4
+from repro.sgp4.coords import teme_to_geodetic
+from repro.spaceweather.storms import StormEpisode
+from repro.time import Epoch
+
+#: Default latitude bands [deg]: equatorial, mid, auroral-ish.
+DEFAULT_BAND_EDGES: tuple[float, ...] = (0.0, 25.0, 50.0, 90.0)
+
+
+@dataclass(frozen=True, slots=True)
+class BandExposure:
+    """Storm exposure of a fleet, split by absolute-latitude band."""
+
+    #: Band edges [deg absolute latitude], length n+1.
+    edges: tuple[float, ...]
+    #: Satellite-hours of storm time spent per band, length n.
+    satellite_hours: tuple[float, ...]
+
+    @property
+    def total_hours(self) -> float:
+        return float(sum(self.satellite_hours))
+
+    def fractions(self) -> tuple[float, ...]:
+        """Per-band fraction of total exposure (0s when no exposure)."""
+        total = self.total_hours
+        if total == 0.0:
+            return tuple(0.0 for _ in self.satellite_hours)
+        return tuple(h / total for h in self.satellite_hours)
+
+    def band_labels(self) -> tuple[str, ...]:
+        return tuple(
+            f"{self.edges[i]:.0f}-{self.edges[i + 1]:.0f} deg"
+            for i in range(len(self.satellite_hours))
+        )
+
+
+def latitude_at(elements, when: Epoch) -> float:
+    """Geodetic latitude [deg] of a satellite at *when* (via SGP4)."""
+    state = SGP4(elements).propagate(when)
+    latitude, _, _ = teme_to_geodetic(state.position_km, when)
+    return latitude
+
+
+def _band_index(latitude_deg: float, edges: tuple[float, ...]) -> int:
+    value = abs(latitude_deg)
+    for i in range(len(edges) - 1):
+        if edges[i] <= value < edges[i + 1]:
+            return i
+    return len(edges) - 2  # exactly at the pole
+
+
+def storm_band_exposure(
+    cleaned_histories: dict[int, CleanedHistory],
+    episodes: list[StormEpisode],
+    *,
+    edges: tuple[float, ...] = DEFAULT_BAND_EDGES,
+    step_minutes: float = 20.0,
+    max_satellites: int | None = None,
+) -> BandExposure:
+    """Satellite-hours of storm exposure per absolute-latitude band.
+
+    For every storm hour and every satellite with a fresh element set, the
+    position is propagated on a *step_minutes* grid and each sample's
+    latitude is attributed to a band.  ``max_satellites`` caps the cost
+    for large fleets (satellites are taken in catalog order).
+    """
+    if len(edges) < 2 or list(edges) != sorted(edges):
+        raise PipelineError(f"band edges must be sorted, got {edges}")
+    if step_minutes <= 0:
+        raise PipelineError("step must be positive")
+
+    histories = list(cleaned_histories.values())
+    if max_satellites is not None:
+        histories = histories[:max_satellites]
+
+    step_hours = step_minutes / 60.0
+    hours = np.zeros(len(edges) - 1)
+    for episode in episodes:
+        span_minutes = (episode.end.unix - episode.start.unix) / 60.0
+        sample_offsets = np.arange(0.0, span_minutes, step_minutes)
+        for cleaned in histories:
+            # Use the freshest element set at the episode start.
+            elements = None
+            for candidate in cleaned.elements:
+                if candidate.epoch.unix <= episode.start.unix:
+                    elements = candidate
+                else:
+                    break
+            if elements is None:
+                continue
+            try:
+                propagator = SGP4(elements)
+                for offset in sample_offsets:
+                    when = episode.start.add_seconds(float(offset) * 60.0)
+                    state = propagator.propagate(when)
+                    latitude, _, _ = teme_to_geodetic(state.position_km, when)
+                    hours[_band_index(latitude, edges)] += step_hours
+            except PropagationError:
+                continue  # decayed element sets contribute nothing
+    return BandExposure(edges=tuple(edges), satellite_hours=tuple(hours))

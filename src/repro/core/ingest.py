@@ -1,0 +1,76 @@
+"""Ingestion layer: solar-activity and TLE data into pipeline state.
+
+Mirrors CosmicDance's fetch-and-cache behaviour (§3): catalog numbers
+are discovered from whatever TLEs arrive, historical element sets merge
+in incrementally and idempotently, and Dst blocks splice into one
+hourly series.  Sources can be in-memory objects, TLE text dumps, or
+WDC-format Dst text — whatever the caller has.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.errors import IngestError
+from repro.spaceweather.dst import DstIndex
+from repro.spaceweather.wdc import parse_wdc
+from repro.tle.catalog import SatelliteCatalog
+from repro.tle.elements import MeanElements
+from repro.tle.parse import parse_tle_file
+
+
+@dataclass(slots=True)
+class IngestStats:
+    """Counters of what ingestion has absorbed."""
+
+    tle_records_added: int = 0
+    tle_records_duplicate: int = 0
+    tle_parse_errors: int = 0
+    dst_hours: int = 0
+
+
+@dataclass(slots=True)
+class IngestState:
+    """Mutable ingestion state shared with the pipeline."""
+
+    catalog: SatelliteCatalog = field(default_factory=SatelliteCatalog)
+    dst: DstIndex | None = None
+    stats: IngestStats = field(default_factory=IngestStats)
+
+    # --- solar activity -------------------------------------------------
+    def add_dst(self, dst: DstIndex) -> None:
+        """Merge an hourly Dst block (later blocks win on overlap)."""
+        self.dst = dst if self.dst is None else self.dst.merge(dst)
+        self.stats.dst_hours = len(self.dst)
+
+    def add_dst_wdc(self, text: str) -> None:
+        """Ingest Dst data in WDC Kyoto format."""
+        self.add_dst(parse_wdc(text))
+
+    # --- trajectories -----------------------------------------------------
+    def add_elements(self, elements: Iterable[MeanElements]) -> int:
+        """Merge element sets; returns how many were new."""
+        added = 0
+        for element in elements:
+            if self.catalog.add(element):
+                added += 1
+            else:
+                self.stats.tle_records_duplicate += 1
+        self.stats.tle_records_added += added
+        return added
+
+    def add_tle_text(self, text: str, *, verify: bool = True) -> int:
+        """Ingest a TLE dump (2LE or 3LE); malformed records are counted,
+        not fatal."""
+        report = parse_tle_file(text.splitlines(), verify=verify)
+        self.stats.tle_parse_errors += report.error_count
+        return self.add_elements(report.elements)
+
+    def require_ready(self) -> tuple[SatelliteCatalog, DstIndex]:
+        """Both data modalities must be present before analysis."""
+        if self.dst is None or not len(self.dst):
+            raise IngestError("no Dst data ingested")
+        if not len(self.catalog):
+            raise IngestError("no TLE data ingested")
+        return self.catalog, self.dst

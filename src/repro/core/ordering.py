@@ -1,0 +1,72 @@
+"""Ordering in time (paper §3): merge the multi-modal streams.
+
+Produces the single time-ordered representation the relation extractor
+and the Fig. 3 time-series views consume: hourly Dst interleaved with a
+satellite's TLE-derived altitude and drag samples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.cleaning import CleanedHistory
+from repro.spaceweather.dst import DstIndex
+from repro.time import Epoch
+from repro.timeseries import TimeSeries, align_to, interleave
+
+
+@dataclass(frozen=True, slots=True)
+class SatelliteTimeline:
+    """One satellite's trajectory aligned against the Dst clock."""
+
+    catalog_number: int
+    #: Hourly Dst [nT].
+    dst: TimeSeries
+    #: Raw (irregular) altitude samples [km].
+    altitude: TimeSeries
+    #: Raw (irregular) B* samples.
+    bstar: TimeSeries
+    #: Altitude resampled onto the Dst hourly clock (LOCF, max age 7 d).
+    altitude_hourly: TimeSeries
+    #: B* resampled onto the Dst hourly clock.
+    bstar_hourly: TimeSeries
+
+
+def satellite_timeline(
+    cleaned: CleanedHistory,
+    dst: DstIndex,
+    *,
+    start: Epoch | None = None,
+    end: Epoch | None = None,
+) -> SatelliteTimeline:
+    """Build the merged timeline of one satellite (Fig. 3's panels)."""
+    dst_series = dst.series.slice(start, end)
+    altitude = cleaned.altitude_series().slice(start, end)
+    bstar = cleaned.bstar_series().slice(start, end)
+    max_age_s = 7 * 86400.0
+    return SatelliteTimeline(
+        catalog_number=cleaned.catalog_number,
+        dst=dst_series,
+        altitude=altitude,
+        bstar=bstar,
+        altitude_hourly=align_to(altitude, dst_series.times, max_age_s=max_age_s),
+        bstar_hourly=align_to(bstar, dst_series.times, max_age_s=max_age_s),
+    )
+
+
+def ordered_events(
+    cleaned: CleanedHistory,
+    dst: DstIndex,
+) -> list[tuple[float, str, float]]:
+    """Fully interleaved ``(unix_time, stream, value)`` event list.
+
+    Streams are labelled ``dst``, ``altitude`` and ``bstar``; the list
+    is ordered by time — the paper's single time-series representation.
+    """
+    return interleave(
+        [
+            ("dst", dst.series),
+            ("altitude", cleaned.altitude_series()),
+            ("bstar", cleaned.bstar_series()),
+        ]
+    )

@@ -1,0 +1,255 @@
+"""The CosmicDance pipeline orchestrator — the library's front door.
+
+Typical use::
+
+    from repro import CosmicDance
+
+    cd = CosmicDance()
+    cd.ingest.add_dst(dst_index)
+    cd.ingest.add_elements(tle_records)
+    result = cd.run()
+
+    result.storm_episodes          # detected solar events
+    result.associations            # trajectory changes closely after them
+    cd.post_event_curves(event)    # Fig. 4-style window analysis
+
+The pipeline is deliberately stage-wise and recomputable: ``run()`` can
+be called again after more data arrives (the incremental-fetch pattern
+of the original tool).
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass
+
+from repro.core.analysis import (
+    AltitudeChangeSample,
+    DragChangeSample,
+    FleetDragDay,
+    altitude_change_samples,
+    drag_change_samples,
+    fleet_drag_daily,
+    quiet_epochs,
+)
+from repro.core.cleaning import CleanedHistory, CleaningReport, clean_catalog
+from repro.core.config import CosmicDanceConfig
+from repro.core.decay import DecayAssessment, DecayState, assess_decay
+from repro.core.ingest import IngestState
+from repro.core.ordering import SatelliteTimeline, satellite_timeline
+from repro.core.relations import (
+    Association,
+    TrajectoryEvent,
+    associate,
+    detect_decay_onsets,
+    detect_drag_spikes,
+)
+from repro.core.windows import AltitudeChangeCurves, post_event_curves
+from repro.errors import PipelineError
+from repro.spaceweather.dst import DstIndex
+from repro.spaceweather.storms import StormEpisode, detect_episodes
+from repro.time import Epoch
+
+
+logger = logging.getLogger("repro.core.pipeline")
+
+
+@dataclass(frozen=True, slots=True)
+class PipelineResult:
+    """Everything one ``run()`` produced."""
+
+    config: CosmicDanceConfig
+    dst: DstIndex
+    cleaned: dict[int, CleanedHistory]
+    cleaning_report: CleaningReport
+    #: Dst threshold for the event percentile (the paper's -63 nT line).
+    event_threshold_nt: float
+    #: Storm episodes at/below the event threshold.
+    storm_episodes: list[StormEpisode]
+    #: Detected per-satellite trajectory events.
+    trajectory_events: list[TrajectoryEvent]
+    #: happens-closely-after pairs.
+    associations: list[Association]
+    #: End-of-record decay assessment per satellite.
+    decay_assessments: dict[int, DecayAssessment]
+
+    @property
+    def permanently_decayed(self) -> list[DecayAssessment]:
+        """Satellites in permanent decay at end of record — the service-
+        hole corner case CosmicDance is built to flag."""
+        return [
+            a
+            for a in self.decay_assessments.values()
+            if a.state is DecayState.PERMANENT_DECAY
+        ]
+
+
+class CosmicDance:
+    """The measurement pipeline (paper §3)."""
+
+    def __init__(self, config: CosmicDanceConfig | None = None) -> None:
+        self.config = config or CosmicDanceConfig()
+        self.ingest = IngestState()
+        self._result: PipelineResult | None = None
+
+    # --- orchestration ------------------------------------------------------
+    def run(self) -> PipelineResult:
+        """Clean, detect storms, extract relations; returns the result."""
+        catalog, dst = self.ingest.require_ready()
+        logger.info(
+            "run: %d satellites, %d TLE records, %d Dst hours",
+            len(catalog), catalog.total_records(), len(dst),
+        )
+        cleaned, report = clean_catalog(catalog, self.config)
+        logger.info(
+            "cleaning: kept %d/%d records (%d gross errors, %d orbit-raising)",
+            report.kept, report.total_records,
+            report.gross_errors, report.orbit_raising,
+        )
+        threshold = dst.intensity_percentile(self.config.event_percentile)
+        episodes = detect_episodes(dst, threshold)
+        logger.info(
+            "storms: %d episodes at/below %.1f nT", len(episodes), threshold
+        )
+
+        events: list[TrajectoryEvent] = []
+        assessments: dict[int, DecayAssessment] = {}
+        for catalog_number, history in cleaned.items():
+            events.extend(detect_drag_spikes(history, self.config))
+            events.extend(detect_decay_onsets(history, self.config))
+            assessments[catalog_number] = assess_decay(history, self.config)
+
+        associations = associate(episodes, events, self.config)
+        logger.info(
+            "relations: %d trajectory events, %d happen closely after storms",
+            len(events), len(associations),
+        )
+        decayed = [
+            a for a in assessments.values()
+            if a.state is DecayState.PERMANENT_DECAY
+        ]
+        if decayed:
+            logger.warning(
+                "permanent decay flagged for %d satellite(s): %s",
+                len(decayed),
+                ", ".join(str(a.catalog_number) for a in decayed[:10]),
+            )
+        self._result = PipelineResult(
+            config=self.config,
+            dst=dst,
+            cleaned=cleaned,
+            cleaning_report=report,
+            event_threshold_nt=threshold,
+            storm_episodes=episodes,
+            trajectory_events=events,
+            associations=associations,
+            decay_assessments=assessments,
+        )
+        return self._result
+
+    @property
+    def result(self) -> PipelineResult:
+        """The latest run's result (raises before the first run)."""
+        if self._result is None:
+            raise PipelineError("call run() before reading results")
+        return self._result
+
+    # --- analyses on the latest result -------------------------------------
+    def post_event_curves(
+        self,
+        event: Epoch,
+        *,
+        window_days: float | None = None,
+        affected_only: bool = True,
+    ) -> AltitudeChangeCurves:
+        """Fig. 4-style altitude deviation curves after *event*."""
+        return post_event_curves(
+            self.result.cleaned,
+            event,
+            config=self.config,
+            window_days=window_days,
+            affected_only=affected_only,
+        )
+
+    def altitude_changes(
+        self, events: list[Epoch], *, window_days: float | None = None
+    ) -> list[AltitudeChangeSample]:
+        """Fig. 5/6-style altitude-change samples over *events*."""
+        return altitude_change_samples(
+            self.result.cleaned, events, config=self.config, window_days=window_days
+        )
+
+    def drag_changes(
+        self, events: list[Epoch], *, window_days: float = 7.0
+    ) -> list[DragChangeSample]:
+        """Fig. 5(c)/6(c)-style drag-change samples over *events*."""
+        return drag_change_samples(
+            self.result.cleaned, events, config=self.config, window_days=window_days
+        )
+
+    def quiet_epochs(self, *, count: int = 10, seed: int = 0) -> list[Epoch]:
+        """Baseline epochs with no storms around."""
+        return quiet_epochs(self.result.dst, config=self.config, count=count, seed=seed)
+
+    def fleet_drag(self, start: Epoch, end: Epoch) -> list[FleetDragDay]:
+        """Fig. 7-style daily fleet drag and tracked-count rows."""
+        return fleet_drag_daily(self.result.cleaned, self.result.dst, start, end)
+
+    def timeline(self, catalog_number: int) -> SatelliteTimeline:
+        """Fig. 3-style merged timeline of one satellite."""
+        cleaned = self.result.cleaned.get(catalog_number)
+        if cleaned is None:
+            raise PipelineError(
+                f"satellite {catalog_number} absent from cleaned data"
+            )
+        return satellite_timeline(cleaned, self.result.dst)
+
+    def storm_impacts(self):
+        """Per-storm impact ledger (relations rolled up in aggregate)."""
+        from repro.core.attribution import storm_impact_ledger
+
+        result = self.result
+        return storm_impact_ledger(
+            result.cleaned,
+            result.storm_episodes,
+            result.associations,
+            config=self.config,
+        )
+
+    def reentry_predictions(self):
+        """Re-entry date estimates for permanently decaying satellites."""
+        from repro.core.prediction import predict_fleet_reentries
+
+        return predict_fleet_reentries(self.result.cleaned, config=self.config)
+
+    def band_exposure(self, **kwargs):
+        """§6 extension: storm exposure by absolute-latitude band."""
+        from repro.core.geography import storm_band_exposure
+
+        return storm_band_exposure(
+            self.result.cleaned, self.result.storm_episodes, **kwargs
+        )
+
+    def conjunctions(self, **kwargs):
+        """§6 extension: shell-trespass and conjunction-pressure report."""
+        from repro.core.conjunction import conjunction_report
+
+        return conjunction_report(self.result.cleaned, **kwargs)
+
+    def measurement_campaigns(self, policy=None):
+        """§6 extension: LEOScope-style storm-triggered campaign schedule."""
+        from repro.core.triggers import schedule_campaigns
+
+        return schedule_campaigns(self.result.storm_episodes, policy)
+
+    def storm_triggers(self, *, threshold_nt: float | None = None) -> list[StormEpisode]:
+        """Storm episodes usable as measurement triggers.
+
+        This is the integration hook the paper proposes for LEOScope:
+        active network measurements can be scheduled off these events.
+        When *threshold_nt* is omitted the event-percentile threshold of
+        the latest run is used.
+        """
+        if threshold_nt is None:
+            return list(self.result.storm_episodes)
+        return detect_episodes(self.result.dst, threshold_nt)

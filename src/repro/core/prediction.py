@@ -1,0 +1,151 @@
+"""Re-entry prediction for decaying satellites.
+
+The paper positions CosmicDance as a tool that "could also signal
+corner cases, like premature orbital decay".  This module completes
+that signal: for each satellite assessed as permanently decaying, fit
+its current descent and integrate the drag model forward to an
+estimated re-entry date — the actionable alarm an operator or debris
+tracker consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.atmosphere.drag import STARLINK_BALLISTIC, BallisticCoefficient
+from repro.atmosphere.lifetime import orbital_lifetime
+from repro.core.cleaning import CleanedHistory
+from repro.core.config import CosmicDanceConfig
+from repro.core.decay import DecayState, assess_decay
+from repro.errors import PipelineError
+from repro.time import Epoch
+
+
+@dataclass(frozen=True, slots=True)
+class ReentryPrediction:
+    """Predicted re-entry of one decaying satellite."""
+
+    catalog_number: int
+    #: Last observed altitude [km] and when.
+    last_altitude_km: float
+    last_epoch: Epoch
+    #: Observed recent decay rate [km/day] (negative).
+    observed_rate_km_day: float
+    #: Effective ballistic multiplier fitted from the observed rate.
+    area_factor: float
+    #: Predicted re-entry date.
+    reentry_epoch: Epoch
+    #: Days from the last observation to predicted re-entry.
+    days_to_reentry: float
+
+
+def _fit_recent_rate(
+    cleaned: CleanedHistory, *, fit_days: float = 14.0
+) -> tuple[float, float, Epoch]:
+    """Least-squares descent rate over the record tail.
+
+    Returns ``(rate_km_day, last_altitude, last_epoch)``.
+    """
+    elements = cleaned.elements
+    last = elements[-1]
+    cutoff = last.epoch.unix - fit_days * 86400.0
+    tail = [e for e in elements if e.epoch.unix >= cutoff]
+    if len(tail) < 3:
+        tail = list(elements[-3:])
+    times_d = np.array([e.epoch.unix for e in tail]) / 86400.0
+    alts = np.array([e.altitude_km for e in tail])
+    slope, _ = np.polyfit(times_d - times_d[0], alts, 1)
+    return float(slope), float(last.altitude_km), last.epoch
+
+
+def predict_reentry(
+    cleaned: CleanedHistory,
+    *,
+    config: CosmicDanceConfig | None = None,
+    ballistic: BallisticCoefficient = STARLINK_BALLISTIC,
+    reentry_altitude_km: float = 200.0,
+    max_days: float = 2000.0,
+) -> ReentryPrediction:
+    """Predict re-entry for a permanently decaying satellite.
+
+    The drag model's quiet-profile decay rate at the current altitude
+    is scaled to match the observed recent rate (absorbing the unknown
+    attitude/tumbling state into an effective area factor), then
+    integrated downward — the same self-accelerating profile real
+    decays follow.
+    """
+    config = config or CosmicDanceConfig()
+    assessment = assess_decay(cleaned, config)
+    if assessment.state is not DecayState.PERMANENT_DECAY:
+        raise PipelineError(
+            f"satellite {cleaned.catalog_number} is not in permanent decay"
+        )
+
+    observed_rate, last_altitude, last_epoch = _fit_recent_rate(cleaned)
+    if observed_rate >= 0.0:
+        raise PipelineError(
+            f"satellite {cleaned.catalog_number}: no descending trend to fit"
+        )
+    if last_altitude <= reentry_altitude_km:
+        return ReentryPrediction(
+            catalog_number=cleaned.catalog_number,
+            last_altitude_km=last_altitude,
+            last_epoch=last_epoch,
+            observed_rate_km_day=observed_rate,
+            area_factor=1.0,
+            reentry_epoch=last_epoch,
+            days_to_reentry=0.0,
+        )
+
+    from repro.atmosphere.density import density_quiet_kg_m3
+    from repro.atmosphere.drag import decay_rate_km_per_day
+
+    model_rate = decay_rate_km_per_day(
+        last_altitude, density_quiet_kg_m3(last_altitude), ballistic
+    )
+    area_factor = observed_rate / model_rate  # both negative
+    area_factor = float(min(max(area_factor, 0.2), 20.0))
+
+    scaled = BallisticCoefficient(
+        ballistic.mass_kg, ballistic.area_m2 * area_factor, ballistic.drag_coefficient
+    )
+    estimate = orbital_lifetime(
+        last_altitude,
+        ballistic=scaled,
+        reentry_altitude_km=reentry_altitude_km,
+        max_days=max_days,
+    )
+    days = estimate.days if not estimate.truncated else max_days
+    return ReentryPrediction(
+        catalog_number=cleaned.catalog_number,
+        last_altitude_km=last_altitude,
+        last_epoch=last_epoch,
+        observed_rate_km_day=observed_rate,
+        area_factor=area_factor,
+        reentry_epoch=last_epoch.add_days(days),
+        days_to_reentry=days,
+    )
+
+
+def predict_fleet_reentries(
+    cleaned_histories: dict[int, CleanedHistory],
+    *,
+    config: CosmicDanceConfig | None = None,
+) -> list[ReentryPrediction]:
+    """Re-entry predictions for every permanently decaying satellite.
+
+    Satellites whose descent cannot be fitted (e.g. the record ends in
+    noise) are skipped rather than fatal.
+    """
+    config = config or CosmicDanceConfig()
+    predictions: list[ReentryPrediction] = []
+    for cleaned in cleaned_histories.values():
+        if assess_decay(cleaned, config).state is not DecayState.PERMANENT_DECAY:
+            continue
+        try:
+            predictions.append(predict_reentry(cleaned, config=config))
+        except PipelineError:
+            continue
+    return predictions

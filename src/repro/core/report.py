@@ -1,0 +1,73 @@
+"""Text rendering of figure data — what the benchmarks print.
+
+Every figure in the paper reduces to rows (CDF quantiles, daily series,
+aggregate curves); these helpers render them as aligned text tables so
+a bench run reproduces the figure's numbers even without a plotting
+stack.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.timeseries.stats import CDF
+
+
+def render_table(
+    title: str,
+    header: Sequence[str],
+    rows: Sequence[Sequence[object]],
+) -> str:
+    """Render an aligned text table."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(len(header[i]), *(len(r[i]) for r in cells)) if cells else len(header[i])
+        for i in range(len(header))
+    ]
+    lines = [title, "  ".join(h.ljust(widths[i]) for i, h in enumerate(header))]
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(header))))
+    return "\n".join(lines)
+
+
+def render_cdf(title: str, cdf: CDF, *, unit: str = "", probs: Sequence[float] | None = None) -> str:
+    """Render an empirical CDF as quantile rows."""
+    probs = probs or (0.05, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99, 1.00)
+    rows = [
+        (f"p{p * 100:g}", f"{cdf.quantile(p):.3f}{unit}")
+        for p in probs
+    ]
+    return render_table(f"{title}  (n={len(cdf)})", ("quantile", "value"), rows)
+
+
+def render_series(
+    title: str,
+    xs: Sequence[float] | np.ndarray,
+    ys: Sequence[float] | np.ndarray,
+    *,
+    x_label: str = "x",
+    y_label: str = "y",
+    max_rows: int = 40,
+) -> str:
+    """Render an (x, y) series, downsampled to at most *max_rows*."""
+    xs = np.asarray(xs, dtype=np.float64)
+    ys = np.asarray(ys, dtype=np.float64)
+    step = max(1, len(xs) // max_rows)
+    rows = [
+        (f"{xs[i]:.2f}", f"{ys[i]:.4f}")
+        for i in range(0, len(xs), step)
+    ]
+    return render_table(title, (x_label, y_label), rows)
+
+
+def format_quantiles(values: Sequence[float] | np.ndarray, qs: Sequence[float]) -> str:
+    """One-line ``q50=…, q95=…`` summary of a sample."""
+    arr = np.asarray(values, dtype=np.float64)
+    finite = arr[np.isfinite(arr)]
+    if finite.size == 0:
+        return "(empty)"
+    parts = [f"q{int(q)}={np.percentile(finite, q):.3f}" for q in qs]
+    return ", ".join(parts)

@@ -1,0 +1,143 @@
+"""Full-run summary rendering.
+
+Assembles one human-readable report from a :class:`PipelineResult` —
+the operational artifact an analyst reads after each ingest cycle:
+data inventory, cleaning outcome, detected storms, happens-closely-
+after relations, and decay alarms.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.decay import DecayState
+from repro.core.pipeline import PipelineResult
+from repro.core.relations import TrajectoryEventKind
+from repro.core.report import render_table
+from repro.spaceweather.scales import StormLevel
+
+
+def summarize_run(result: PipelineResult, *, max_rows: int = 20) -> str:
+    """Render a multi-section text summary of one pipeline run."""
+    sections = [
+        _data_section(result),
+        _storm_section(result),
+        _relation_section(result, max_rows),
+        _decay_section(result, max_rows),
+    ]
+    return "\n\n".join(sections)
+
+
+def _data_section(result: PipelineResult) -> str:
+    report = result.cleaning_report
+    dst = result.dst
+    return render_table(
+        "Data inventory",
+        ("metric", "value"),
+        [
+            ("Dst window", f"{dst.start.isoformat()} .. {dst.end.isoformat()}"),
+            ("Dst hours", len(dst)),
+            ("Dst missing hours", dst.missing_hours()),
+            ("TLE records ingested", report.total_records),
+            ("gross tracking errors removed", report.gross_errors),
+            ("orbit-raising records removed", report.orbit_raising),
+            ("records kept", report.kept),
+            ("satellites after cleaning", len(result.cleaned)),
+        ],
+    )
+
+
+def _storm_section(result: PipelineResult) -> str:
+    counts = result.dst.level_hour_counts()
+    rows = [
+        ("event threshold", f"{result.event_threshold_nt:.1f} nT"),
+        ("episodes above threshold", len(result.storm_episodes)),
+    ]
+    rows += [
+        (f"hours at {level.name.lower()}", counts[level])
+        for level in StormLevel
+        if level is not StormLevel.QUIET
+    ]
+    if result.storm_episodes:
+        deepest = min(result.storm_episodes, key=lambda e: e.peak_nt)
+        rows.append(
+            (
+                "deepest storm",
+                f"{deepest.peak_nt:.0f} nT on {deepest.start.isoformat()[:10]}",
+            )
+        )
+    return render_table("Solar activity", ("metric", "value"), rows)
+
+
+def _relation_section(result: PipelineResult, max_rows: int) -> str:
+    spikes = [
+        a for a in result.associations
+        if a.event.kind is TrajectoryEventKind.DRAG_SPIKE
+    ]
+    decays = [
+        a for a in result.associations
+        if a.event.kind is TrajectoryEventKind.DECAY_ONSET
+    ]
+    lags = np.array([a.lag_hours for a in result.associations])
+    rows = [
+        ("drag spikes closely after storms", len(spikes)),
+        ("decay onsets closely after storms", len(decays)),
+    ]
+    if lags.size:
+        rows.append(("median lag", f"{np.median(lags):.1f} h"))
+    table = render_table(
+        "Happens-closely-after relations", ("metric", "value"), rows
+    )
+    if result.associations:
+        worst = sorted(
+            result.associations, key=lambda a: -a.event.magnitude
+        )[:max_rows]
+        table += "\n" + render_table(
+            "Largest associated trajectory events",
+            ("satellite", "kind", "when", "lag h", "magnitude"),
+            [
+                (
+                    a.event.catalog_number,
+                    a.event.kind.value,
+                    a.event.epoch.isoformat()[:16],
+                    f"{a.lag_hours:.1f}",
+                    f"{a.event.magnitude:.2f}",
+                )
+                for a in worst
+            ],
+        )
+    return table
+
+
+def _decay_section(result: PipelineResult, max_rows: int) -> str:
+    states = {state: 0 for state in DecayState}
+    for assessment in result.decay_assessments.values():
+        states[assessment.state] += 1
+    rows = [(state.value, count) for state, count in states.items()]
+    table = render_table("Fleet decay states", ("state", "satellites"), rows)
+    decayed = result.permanently_decayed
+    if decayed:
+        from repro.core.prediction import predict_fleet_reentries
+
+        predictions = {
+            p.catalog_number: p
+            for p in predict_fleet_reentries(result.cleaned, config=result.config)
+        }
+        rows_decay = []
+        for a in decayed[:max_rows]:
+            prediction = predictions.get(a.catalog_number)
+            rows_decay.append(
+                (
+                    a.catalog_number,
+                    a.decay_onset.isoformat()[:10] if a.decay_onset else "?",
+                    f"{a.final_altitude_km:.1f}",
+                    f"{a.final_deficit_km:.1f}",
+                    prediction.reentry_epoch.isoformat()[:10] if prediction else "-",
+                )
+            )
+        table += "\n" + render_table(
+            "Permanent decays (service-hole candidates)",
+            ("satellite", "onset", "final km", "deficit km", "est. re-entry"),
+            rows_decay,
+        )
+    return table

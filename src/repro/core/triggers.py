@@ -1,0 +1,115 @@
+"""Measurement-trigger scheduling (paper §6, LEOScope integration).
+
+The paper proposes feeding CosmicDance's solar-event signals into
+LEOScope, a LEO measurement testbed with trigger-based experiment
+scheduling.  This module implements that consumer-facing half: it turns
+storm episodes into deduplicated, rate-limited measurement campaigns
+with pre-storm baseline and post-storm observation windows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PipelineError
+from repro.spaceweather.storms import StormEpisode
+from repro.time import Epoch
+
+
+@dataclass(frozen=True, slots=True)
+class MeasurementCampaign:
+    """One scheduled measurement campaign around a storm."""
+
+    #: The storm that triggered the campaign.
+    trigger: StormEpisode
+    #: Baseline measurements start (before the storm).
+    baseline_start: Epoch
+    #: Active measurement window.
+    active_start: Epoch
+    active_end: Epoch
+    #: Priority: deeper storms preempt shallower ones.
+    priority: int
+
+    @property
+    def duration_hours(self) -> float:
+        return (self.active_end.unix - self.baseline_start.unix) / 3600.0
+
+
+@dataclass(frozen=True, slots=True)
+class TriggerPolicy:
+    """Scheduling policy for storm-triggered campaigns."""
+
+    #: Hours of baseline measurement before the storm onset.
+    baseline_hours: float = 6.0
+    #: Hours of measurement after the storm ends.
+    post_storm_hours: float = 48.0
+    #: Minimum gap between two campaign starts [hours] (rate limit).
+    min_gap_hours: float = 24.0
+    #: Storms shallower than this never trigger [nT].
+    min_peak_nt: float = -50.0
+
+    def __post_init__(self) -> None:
+        if self.baseline_hours < 0 or self.post_storm_hours < 0:
+            raise PipelineError("window hours must be non-negative")
+        if self.min_gap_hours < 0:
+            raise PipelineError("rate limit must be non-negative")
+
+
+def _priority(peak_nt: float) -> int:
+    """1 (mild) .. 4 (extreme), deeper storms first."""
+    if peak_nt <= -350.0:
+        return 4
+    if peak_nt <= -200.0:
+        return 3
+    if peak_nt <= -100.0:
+        return 2
+    return 1
+
+
+def schedule_campaigns(
+    episodes: list[StormEpisode],
+    policy: TriggerPolicy | None = None,
+) -> list[MeasurementCampaign]:
+    """Turn storm episodes into a rate-limited campaign schedule.
+
+    Episodes are processed in time order.  An episode whose campaign
+    would start within ``min_gap_hours`` of the previous campaign is
+    merged into it (the active window extends) instead of creating a
+    new one — measurement clients should not be restarted mid-storm.
+    """
+    policy = policy or TriggerPolicy()
+    eligible = sorted(
+        (e for e in episodes if e.peak_nt <= policy.min_peak_nt),
+        key=lambda e: e.start.unix,
+    )
+
+    campaigns: list[MeasurementCampaign] = []
+    for episode in eligible:
+        baseline_start = episode.start.add_hours(-policy.baseline_hours)
+        active_end = episode.end.add_hours(policy.post_storm_hours)
+        if campaigns:
+            previous = campaigns[-1]
+            gap_h = (baseline_start.unix - previous.baseline_start.unix) / 3600.0
+            overlaps = baseline_start.unix <= previous.active_end.unix
+            if overlaps or gap_h < policy.min_gap_hours:
+                merged = MeasurementCampaign(
+                    trigger=previous.trigger
+                    if previous.trigger.peak_nt <= episode.peak_nt
+                    else episode,
+                    baseline_start=previous.baseline_start,
+                    active_start=previous.active_start,
+                    active_end=Epoch(max(previous.active_end.jd, active_end.jd)),
+                    priority=max(previous.priority, _priority(episode.peak_nt)),
+                )
+                campaigns[-1] = merged
+                continue
+        campaigns.append(
+            MeasurementCampaign(
+                trigger=episode,
+                baseline_start=baseline_start,
+                active_start=episode.start,
+                active_end=active_end,
+                priority=_priority(episode.peak_nt),
+            )
+        )
+    return campaigns

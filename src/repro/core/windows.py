@@ -1,0 +1,138 @@
+"""Post-event observation windows (the paper's Fig. 4 methodology).
+
+For a chosen solar event, track every eligible satellite's altitude
+deviation from its long-term median over the following days, and
+aggregate the fleet's median and 95th-percentile deviation curves.
+
+Eligibility follows §5 exactly:
+
+* the satellite must not have started decaying already at the event
+  (the 5 km rule), and
+* in "affected" mode, the median in-window deviation must exceed both
+  the deviation immediately after the event and the deviation at the
+  window's end — the paper's filter selecting dip-and-recover
+  satellites and excluding both unaffected and permanently decaying
+  ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.cleaning import CleanedHistory
+from repro.core.config import CosmicDanceConfig
+from repro.core.decay import is_decaying_at, long_term_median_altitude
+from repro.time import Epoch
+
+
+@dataclass(frozen=True, slots=True)
+class AltitudeChangeCurves:
+    """Fleet altitude-deviation curves after one event."""
+
+    event: Epoch
+    #: Day offsets of the grid (0 = event day).
+    grid_days: np.ndarray
+    #: Per-satellite deviation curves [km below long-term median],
+    #: keyed by catalog number; NaN where the satellite has no data.
+    curves: dict[int, np.ndarray]
+    #: Median across satellites per grid day.
+    median_curve: np.ndarray
+    #: 95th percentile across satellites per grid day.
+    p95_curve: np.ndarray
+
+    @property
+    def satellite_count(self) -> int:
+        return len(self.curves)
+
+
+def _deviation_curve(
+    cleaned: CleanedHistory,
+    event: Epoch,
+    grid_days: np.ndarray,
+) -> np.ndarray:
+    """Deviation below the long-term median at each grid day (LOCF)."""
+    median = long_term_median_altitude(cleaned)
+    times = np.array([e.epoch.unix for e in cleaned.elements])
+    altitudes = np.array([e.altitude_km for e in cleaned.elements])
+    sample_times = event.unix + grid_days * 86400.0
+    idx = np.searchsorted(times, sample_times, side="right") - 1
+    values = np.where(idx >= 0, altitudes[np.clip(idx, 0, None)], np.nan)
+    # Samples older than 4 days are stale (satellite untracked).
+    age = sample_times - times[np.clip(idx, 0, None)]
+    values = np.where((idx >= 0) & (age <= 4 * 86400.0), values, np.nan)
+    return median - values
+
+
+def post_event_curves(
+    cleaned_histories: dict[int, CleanedHistory],
+    event: Epoch,
+    *,
+    config: CosmicDanceConfig | None = None,
+    window_days: float | None = None,
+    affected_only: bool = True,
+    grid_step_days: float = 1.0,
+) -> AltitudeChangeCurves:
+    """Compute the Fig. 4 deviation curves for one event."""
+    config = config or CosmicDanceConfig()
+    days = window_days if window_days is not None else config.post_event_window_days
+    grid_days = np.arange(0.0, days + grid_step_days / 2.0, grid_step_days)
+
+    curves: dict[int, np.ndarray] = {}
+    for catalog_number, cleaned in cleaned_histories.items():
+        if not len(cleaned):
+            continue
+        first = cleaned.elements[0].epoch
+        last = cleaned.elements[-1].epoch
+        # The satellite must be operational across the window.
+        if first.unix > event.unix or last.unix < event.unix:
+            continue
+        if is_decaying_at(cleaned, event, config):
+            continue
+        curve = _deviation_curve(cleaned, event, grid_days)
+        finite = curve[np.isfinite(curve)]
+        if finite.size < max(3, len(grid_days) // 4):
+            continue
+        if affected_only and not _is_affected(curve):
+            continue
+        curves[catalog_number] = curve
+
+    if curves:
+        stacked = np.vstack(list(curves.values()))
+        import warnings
+
+        with np.errstate(invalid="ignore"), warnings.catch_warnings():
+            # Grid days where no satellite has data produce all-NaN
+            # columns; NaN is the correct aggregate there.
+            warnings.simplefilter("ignore", category=RuntimeWarning)
+            median_curve = np.nanmedian(stacked, axis=0)
+            p95_curve = np.nanpercentile(stacked, 95, axis=0)
+    else:
+        median_curve = np.full_like(grid_days, np.nan)
+        p95_curve = np.full_like(grid_days, np.nan)
+
+    return AltitudeChangeCurves(
+        event=event,
+        grid_days=grid_days,
+        curves=curves,
+        median_curve=median_curve,
+        p95_curve=p95_curve,
+    )
+
+
+def _is_affected(curve: np.ndarray) -> bool:
+    """The paper's Fig. 4(a) selection: dip-and-(partially-)recover.
+
+    The median deviation inside the window must exceed both the
+    deviation immediately after the event and the deviation at the end
+    of the window.
+    """
+    finite = np.flatnonzero(np.isfinite(curve))
+    if finite.size < 3:
+        return False
+    first = curve[finite[0]]
+    last = curve[finite[-1]]
+    inner = curve[finite]
+    median = float(np.median(inner))
+    return median > first and median > last

@@ -1,0 +1,24 @@
+"""Persistence substrate: local caches of fetched data and results.
+
+The original CosmicDance minimizes API calls by caching catalog numbers
+and fetched history on disk and re-fetching incrementally.  This
+package provides the equivalent local store: CSV codecs for time
+series and Dst blocks, TLE text archives for catalogs, and a
+directory-layout cache that the ingest layer can hydrate from.
+"""
+
+from repro.io.csvio import (
+    read_dst_csv,
+    read_series_csv,
+    write_dst_csv,
+    write_series_csv,
+)
+from repro.io.store import DataStore
+
+__all__ = [
+    "DataStore",
+    "read_dst_csv",
+    "read_series_csv",
+    "write_dst_csv",
+    "write_series_csv",
+]

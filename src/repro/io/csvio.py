@@ -1,0 +1,64 @@
+"""CSV codecs for time series and Dst blocks.
+
+The format is deliberately minimal and self-describing: a header line,
+ISO-8601 timestamps, and plain decimal values with empty cells for
+missing samples — loadable by spreadsheet tools and by this module.
+"""
+
+from __future__ import annotations
+
+import io
+import math
+from typing import TextIO
+
+from repro.errors import TimeSeriesError
+from repro.spaceweather.dst import DstIndex
+from repro.time import Epoch
+from repro.timeseries import TimeSeries
+
+
+def write_series_csv(series: TimeSeries, out: TextIO, *, value_name: str = "value") -> None:
+    """Write a series as ``timestamp,<value_name>`` rows."""
+    out.write(f"timestamp,{value_name}\n")
+    for t, v in series:
+        cell = "" if not math.isfinite(v) else repr(v)
+        out.write(f"{Epoch.from_unix(t).isoformat()},{cell}\n")
+
+
+def read_series_csv(source: TextIO | str) -> TimeSeries:
+    """Read a series written by :func:`write_series_csv`."""
+    stream = io.StringIO(source) if isinstance(source, str) else source
+    header = stream.readline()
+    if not header.startswith("timestamp,"):
+        raise TimeSeriesError(f"not a series CSV (header {header!r})")
+    times: list[float] = []
+    values: list[float] = []
+    for line_number, line in enumerate(stream, start=2):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            stamp, cell = line.split(",", 1)
+        except ValueError as exc:
+            raise TimeSeriesError(f"bad CSV row at line {line_number}: {line!r}") from exc
+        times.append(Epoch.from_iso(stamp).unix)
+        if cell == "":
+            values.append(float("nan"))
+        else:
+            try:
+                values.append(float(cell))
+            except ValueError as exc:
+                raise TimeSeriesError(
+                    f"bad value at line {line_number}: {cell!r}"
+                ) from exc
+    return TimeSeries.from_pairs(zip(times, values))
+
+
+def write_dst_csv(dst: DstIndex, out: TextIO) -> None:
+    """Write a Dst index as ``timestamp,dst_nt`` rows."""
+    write_series_csv(dst.series, out, value_name="dst_nt")
+
+
+def read_dst_csv(source: TextIO | str) -> DstIndex:
+    """Read a Dst index written by :func:`write_dst_csv`."""
+    return DstIndex(read_series_csv(source))

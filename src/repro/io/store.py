@@ -1,0 +1,136 @@
+"""The :class:`DataStore` local cache.
+
+Directory layout::
+
+    <root>/
+      dst.csv                 hourly Dst cache
+      catalog_numbers.txt     one catalog number per line
+      tles/<catalog>.tle      per-satellite TLE history (2LE text)
+
+`save_*` methods overwrite atomically (write to a temp file, rename);
+`load_*` methods return None when the artifact is absent, so callers
+can fall back to fetching/generating.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+from typing import Iterable
+
+from repro.errors import IngestError
+from repro.io.csvio import read_dst_csv, write_dst_csv
+from repro.spaceweather.dst import DstIndex
+from repro.tle.catalog import SatelliteCatalog, SatelliteHistory
+from repro.tle.format import format_tle
+from repro.tle.parse import parse_tle_file
+
+
+class DataStore:
+    """A directory-backed cache of ingested data."""
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = pathlib.Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # --- internals --------------------------------------------------------
+    def _atomic_write(self, path: pathlib.Path, text: str) -> None:
+        tmp = path.with_suffix(path.suffix + ".tmp")
+        tmp.write_text(text)
+        tmp.replace(path)
+
+    @property
+    def _dst_path(self) -> pathlib.Path:
+        return self.root / "dst.csv"
+
+    @property
+    def _numbers_path(self) -> pathlib.Path:
+        return self.root / "catalog_numbers.txt"
+
+    @property
+    def _tle_dir(self) -> pathlib.Path:
+        return self.root / "tles"
+
+    # --- Dst -------------------------------------------------------------
+    def save_dst(self, dst: DstIndex) -> None:
+        """Cache the Dst index (overwrites)."""
+        import io
+
+        buffer = io.StringIO()
+        write_dst_csv(dst, buffer)
+        self._atomic_write(self._dst_path, buffer.getvalue())
+
+    def load_dst(self) -> DstIndex | None:
+        """Load the cached Dst index, or None when absent."""
+        if not self._dst_path.exists():
+            return None
+        with self._dst_path.open() as handle:
+            return read_dst_csv(handle)
+
+    # --- catalog numbers (fetched once, per the paper) ----------------------
+    def save_catalog_numbers(self, numbers: Iterable[int]) -> None:
+        """Cache the discovered catalog-number set."""
+        text = "\n".join(str(n) for n in sorted(set(numbers)))
+        self._atomic_write(self._numbers_path, text + "\n" if text else "")
+
+    def load_catalog_numbers(self) -> list[int] | None:
+        """Load cached catalog numbers, or None when absent."""
+        if not self._numbers_path.exists():
+            return None
+        numbers = []
+        for line in self._numbers_path.read_text().splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                numbers.append(int(line))
+            except ValueError as exc:
+                raise IngestError(f"corrupt catalog-number cache: {line!r}") from exc
+        return numbers
+
+    # --- TLE histories ----------------------------------------------------
+    def save_history(self, history: SatelliteHistory) -> None:
+        """Cache one satellite's TLE history as 2LE text."""
+        self._tle_dir.mkdir(exist_ok=True)
+        lines: list[str] = []
+        for elements in history:
+            line1, line2 = format_tle(elements)
+            lines.append(line1)
+            lines.append(line2)
+        path = self._tle_dir / f"{history.catalog_number}.tle"
+        self._atomic_write(path, "\n".join(lines) + ("\n" if lines else ""))
+
+    def save_catalog(self, catalog: SatelliteCatalog) -> None:
+        """Cache every satellite's history and the number list."""
+        for history in catalog:
+            self.save_history(history)
+        self.save_catalog_numbers(catalog.catalog_numbers)
+
+    def load_history(self, catalog_number: int) -> SatelliteHistory | None:
+        """Load one cached history, or None when absent."""
+        path = self._tle_dir / f"{catalog_number}.tle"
+        if not path.exists():
+            return None
+        report = parse_tle_file(path.read_text().splitlines())
+        if report.error_count:
+            raise IngestError(
+                f"corrupt TLE cache for {catalog_number}: "
+                f"{report.error_count} bad records"
+            )
+        history = SatelliteHistory(catalog_number)
+        for elements in report.elements:
+            history.add(elements)
+        return history
+
+    def load_catalog(self) -> SatelliteCatalog | None:
+        """Load the whole cached catalog, or None when nothing is cached."""
+        numbers = self.load_catalog_numbers()
+        if numbers is None:
+            return None
+        catalog = SatelliteCatalog()
+        for number in numbers:
+            history = self.load_history(number)
+            if history is not None:
+                for elements in history:
+                    catalog.add(elements)
+        return catalog

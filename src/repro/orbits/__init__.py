@@ -1,0 +1,35 @@
+"""Kepler orbital machinery: anomalies, element conversions, shells."""
+
+from repro.orbits.conversions import (
+    altitude_from_mean_motion,
+    mean_motion_from_altitude,
+    mean_motion_from_sma,
+    orbital_period_minutes,
+    sma_from_mean_motion,
+)
+from repro.orbits.kepler import (
+    eccentric_from_mean,
+    eccentric_from_true,
+    mean_from_eccentric,
+    mean_from_true,
+    true_from_eccentric,
+    true_from_mean,
+)
+from repro.orbits.shells import STARLINK_SHELLS, Shell, shell_for_altitude
+
+__all__ = [
+    "STARLINK_SHELLS",
+    "Shell",
+    "altitude_from_mean_motion",
+    "eccentric_from_mean",
+    "eccentric_from_true",
+    "mean_from_eccentric",
+    "mean_from_true",
+    "mean_motion_from_altitude",
+    "mean_motion_from_sma",
+    "orbital_period_minutes",
+    "shell_for_altitude",
+    "sma_from_mean_motion",
+    "true_from_eccentric",
+    "true_from_mean",
+]

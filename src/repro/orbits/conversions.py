@@ -1,0 +1,64 @@
+"""Mean motion <-> semi-major axis <-> altitude conversions.
+
+The paper derives satellite **altitude from the mean motion** orbital
+element (§A.2: "we drive altitude from this parameter for our analysis
+of decay").  These are the exact formulas CosmicDance applies to every
+TLE record.
+
+Mean motion is expressed in revolutions per day, the TLE convention.
+Altitudes are heights above the WGS-72 equatorial radius, in km.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.constants import EARTH_RADIUS_KM, MU_EARTH_KM3_S2, SECONDS_PER_DAY, TAU
+from repro.errors import PropagationError
+
+
+def sma_from_mean_motion(mean_motion_rev_day: float) -> float:
+    """Semi-major axis [km] from mean motion [rev/day] (Kepler's third law)."""
+    if mean_motion_rev_day <= 0:
+        raise PropagationError(f"mean motion must be positive: {mean_motion_rev_day}")
+    n_rad_s = mean_motion_rev_day * TAU / SECONDS_PER_DAY
+    return (MU_EARTH_KM3_S2 / (n_rad_s * n_rad_s)) ** (1.0 / 3.0)
+
+
+def mean_motion_from_sma(sma_km: float) -> float:
+    """Mean motion [rev/day] from semi-major axis [km]."""
+    if sma_km <= 0:
+        raise PropagationError(f"semi-major axis must be positive: {sma_km}")
+    n_rad_s = math.sqrt(MU_EARTH_KM3_S2 / sma_km**3)
+    return n_rad_s * SECONDS_PER_DAY / TAU
+
+
+def altitude_from_mean_motion(mean_motion_rev_day: float) -> float:
+    """Mean altitude above the equatorial radius [km] from mean motion.
+
+    This is the paper's altitude metric: the circular-orbit height
+    implied by the mean motion element, not an instantaneous geodetic
+    height.
+    """
+    return sma_from_mean_motion(mean_motion_rev_day) - EARTH_RADIUS_KM
+
+
+def mean_motion_from_altitude(altitude_km: float) -> float:
+    """Mean motion [rev/day] for a circular orbit at *altitude_km*."""
+    if altitude_km <= -EARTH_RADIUS_KM:
+        raise PropagationError(f"altitude below Earth's center: {altitude_km}")
+    return mean_motion_from_sma(EARTH_RADIUS_KM + altitude_km)
+
+
+def orbital_period_minutes(mean_motion_rev_day: float) -> float:
+    """Orbital period [min] from mean motion [rev/day]."""
+    if mean_motion_rev_day <= 0:
+        raise PropagationError(f"mean motion must be positive: {mean_motion_rev_day}")
+    return 1440.0 / mean_motion_rev_day
+
+
+def orbital_speed_km_s(sma_km: float) -> float:
+    """Circular orbital speed [km/s] at semi-major axis *sma_km*."""
+    if sma_km <= 0:
+        raise PropagationError(f"semi-major axis must be positive: {sma_km}")
+    return math.sqrt(MU_EARTH_KM3_S2 / sma_km)

@@ -1,0 +1,88 @@
+"""Anomaly conversions and the Kepler equation solver.
+
+All angles are radians.  Eccentricities are restricted to the elliptic
+domain ``0 <= e < 1`` — the only regime relevant to Earth-orbiting
+satellites tracked through TLEs.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.constants import TAU
+from repro.errors import PropagationError
+
+_MAX_ITERATIONS = 50
+_TOLERANCE = 1e-12
+
+
+def _check_eccentricity(e: float) -> None:
+    if not 0.0 <= e < 1.0:
+        raise PropagationError(f"eccentricity outside elliptic domain: {e}")
+
+
+def wrap_angle(angle: float) -> float:
+    """Wrap an angle into [0, 2*pi)."""
+    return angle % TAU
+
+
+def eccentric_from_mean(mean_anomaly: float, e: float) -> float:
+    """Solve Kepler's equation ``M = E - e sin E`` for E.
+
+    Newton-Raphson with a third-order Halley fallback start; converges
+    in a handful of iterations for all elliptic eccentricities.
+    """
+    _check_eccentricity(e)
+    m = wrap_angle(mean_anomaly)
+    # A good starter: E0 = M + e*sin(M) handles moderate eccentricity.
+    big_e = m + e * math.sin(m)
+    for _ in range(_MAX_ITERATIONS):
+        f = big_e - e * math.sin(big_e) - m
+        f_prime = 1.0 - e * math.cos(big_e)
+        delta = f / f_prime
+        big_e -= delta
+        if abs(delta) < _TOLERANCE:
+            return wrap_angle(big_e)
+    raise PropagationError(
+        f"Kepler solver failed to converge: M={mean_anomaly}, e={e}"
+    )
+
+
+def mean_from_eccentric(eccentric_anomaly: float, e: float) -> float:
+    """Kepler's equation forward: M = E - e sin E."""
+    _check_eccentricity(e)
+    return wrap_angle(eccentric_anomaly - e * math.sin(eccentric_anomaly))
+
+
+def true_from_eccentric(eccentric_anomaly: float, e: float) -> float:
+    """True anomaly from eccentric anomaly."""
+    _check_eccentricity(e)
+    half = eccentric_anomaly / 2.0
+    return wrap_angle(
+        2.0 * math.atan2(
+            math.sqrt(1.0 + e) * math.sin(half),
+            math.sqrt(1.0 - e) * math.cos(half),
+        )
+    )
+
+
+def eccentric_from_true(true_anomaly: float, e: float) -> float:
+    """Eccentric anomaly from true anomaly."""
+    _check_eccentricity(e)
+    half = true_anomaly / 2.0
+    return wrap_angle(
+        2.0 * math.atan2(
+            math.sqrt(1.0 - e) * math.sin(half),
+            math.sqrt(1.0 + e) * math.cos(half),
+        )
+    )
+
+
+def true_from_mean(mean_anomaly: float, e: float) -> float:
+    """True anomaly from mean anomaly (via Kepler's equation)."""
+    return true_from_eccentric(eccentric_from_mean(mean_anomaly, e), e)
+
+
+def mean_from_true(true_anomaly: float, e: float) -> float:
+    """Mean anomaly from true anomaly."""
+    return mean_from_eccentric(eccentric_from_true(true_anomaly, e), e)

@@ -1,0 +1,77 @@
+"""Maneuver delta-v budgets.
+
+Starlink's resilience to the May 2024 super-storm was credited to "a
+capable propulsion system" and attentive station keeping.  These
+helpers quantify that capability: the delta-v cost of orbit raising,
+of continuous drag make-up, and the extra budget a storm consumes.
+All formulas are the standard circular-orbit results.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.atmosphere.drag import BallisticCoefficient, STARLINK_BALLISTIC
+from repro.constants import EARTH_RADIUS_KM, MU_EARTH_KM3_S2, SECONDS_PER_DAY
+from repro.errors import SimulationError
+
+
+def circular_velocity_m_s(altitude_km: float) -> float:
+    """Circular orbital velocity [m/s] at *altitude_km*."""
+    r_km = EARTH_RADIUS_KM + altitude_km
+    if r_km <= 0:
+        raise SimulationError(f"altitude below Earth's centre: {altitude_km}")
+    return math.sqrt(MU_EARTH_KM3_S2 / r_km) * 1000.0
+
+
+def hohmann_delta_v_m_s(from_altitude_km: float, to_altitude_km: float) -> float:
+    """Total delta-v [m/s] of a two-burn Hohmann transfer between
+    circular orbits (direction-independent)."""
+    r1 = (EARTH_RADIUS_KM + min(from_altitude_km, to_altitude_km)) * 1000.0
+    r2 = (EARTH_RADIUS_KM + max(from_altitude_km, to_altitude_km)) * 1000.0
+    if r1 <= 0:
+        raise SimulationError("altitude below Earth's centre")
+    mu = MU_EARTH_KM3_S2 * 1.0e9
+    a_transfer = (r1 + r2) / 2.0
+    v1 = math.sqrt(mu / r1)
+    v2 = math.sqrt(mu / r2)
+    v_perigee = math.sqrt(mu * (2.0 / r1 - 1.0 / a_transfer))
+    v_apogee = math.sqrt(mu * (2.0 / r2 - 1.0 / a_transfer))
+    return (v_perigee - v1) + (v2 - v_apogee)
+
+
+def drag_makeup_delta_v_m_s_per_day(
+    altitude_km: float,
+    density_kg_m3: float,
+    ballistic: BallisticCoefficient = STARLINK_BALLISTIC,
+) -> float:
+    """Daily delta-v [m/s/day] needed to cancel drag at *altitude_km*.
+
+    Station keeping must continuously restore the velocity drag
+    removes: dv/dt = a_drag = 0.5 * rho * v^2 * B.
+    """
+    if density_kg_m3 < 0:
+        raise SimulationError("density must be non-negative")
+    v_m_s = circular_velocity_m_s(altitude_km)
+    accel = 0.5 * density_kg_m3 * v_m_s * v_m_s * ballistic.b_m2_kg
+    return accel * SECONDS_PER_DAY
+
+
+def storm_extra_delta_v_m_s(
+    altitude_km: float,
+    quiet_density_kg_m3: float,
+    enhancement: float,
+    storm_days: float,
+    ballistic: BallisticCoefficient = STARLINK_BALLISTIC,
+) -> float:
+    """Extra delta-v [m/s] a storm of given enhancement/duration costs
+    on top of the quiet-time station-keeping budget."""
+    if enhancement < 1.0:
+        raise SimulationError(f"enhancement must be >= 1: {enhancement}")
+    if storm_days < 0:
+        raise SimulationError("storm duration must be non-negative")
+    quiet = drag_makeup_delta_v_m_s_per_day(altitude_km, quiet_density_kg_m3, ballistic)
+    stormy = drag_makeup_delta_v_m_s_per_day(
+        altitude_km, quiet_density_kg_m3 * enhancement, ballistic
+    )
+    return (stormy - quiet) * storm_days

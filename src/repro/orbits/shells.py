@@ -1,0 +1,82 @@
+"""Constellation shell definitions.
+
+Mega-constellations are deployed as concentric shells of satellites;
+for Starlink the FCC-filed inter-shell gap is only ~5 km, which is why
+the paper flags 10s-of-km orbital shifts as shell-trespassing events.
+
+Shell parameters follow the public Starlink Gen1 FCC filing (altitudes
+and inclinations); satellite counts are the filed plane*per-plane
+totals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True, slots=True)
+class Shell:
+    """One orbital shell of a constellation."""
+
+    name: str
+    altitude_km: float
+    inclination_deg: float
+    planes: int
+    sats_per_plane: int
+
+    @property
+    def satellite_count(self) -> int:
+        """Designed number of satellites in the shell."""
+        return self.planes * self.sats_per_plane
+
+    def contains_altitude(self, altitude_km: float, *, half_width_km: float = 2.5) -> bool:
+        """Whether *altitude_km* falls inside this shell's slot.
+
+        The default half-width of 2.5 km reflects the ~5 km inter-shell
+        gap from the FCC filings.
+        """
+        return abs(altitude_km - self.altitude_km) <= half_width_km
+
+
+#: SpaceX Starlink Gen1 shells (FCC filing).
+STARLINK_SHELLS: tuple[Shell, ...] = (
+    Shell("shell-1", 550.0, 53.0, 72, 22),
+    Shell("shell-2", 540.0, 53.2, 72, 22),
+    Shell("shell-3", 570.0, 70.0, 36, 20),
+    Shell("shell-4", 560.0, 97.6, 6, 58),
+    Shell("shell-5", 560.0, 97.6, 4, 43),
+)
+
+#: Altitude of the staging orbit new launches park in (~350 km, §3).
+STAGING_ALTITUDE_KM = 350.0
+
+
+def shell_for_altitude(
+    altitude_km: float,
+    shells: tuple[Shell, ...] = STARLINK_SHELLS,
+    *,
+    half_width_km: float = 2.5,
+) -> Shell | None:
+    """The shell whose slot contains *altitude_km*, or None."""
+    for shell in shells:
+        if shell.contains_altitude(altitude_km, half_width_km=half_width_km):
+            return shell
+    return None
+
+
+def shells_crossed(
+    start_altitude_km: float,
+    end_altitude_km: float,
+    shells: tuple[Shell, ...] = STARLINK_SHELLS,
+) -> list[Shell]:
+    """Shells whose nominal altitude lies strictly between two altitudes.
+
+    A satellite decaying from *start* to *end* altitude trespasses each
+    returned shell — the collision-risk scenario the paper highlights.
+    """
+    if not shells:
+        raise SimulationError("no shells configured")
+    lo, hi = sorted((start_altitude_km, end_altitude_km))
+    return [s for s in shells if lo < s.altitude_km < hi]

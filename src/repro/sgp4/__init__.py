@@ -1,0 +1,24 @@
+"""SGP4-class orbit propagation substrate (from scratch).
+
+Implements the near-Earth SGP4 analytic propagator (Spacetrack Report
+#3 / Vallado revision) against the WGS-72 gravity model — the model
+TLEs are defined against — plus TEME→geodetic coordinate helpers.
+Deep-space (SDP4) orbits are out of scope: every satellite the paper
+measures is a short-period LEO object.
+"""
+
+from repro.sgp4.coords import teme_to_geodetic
+from repro.sgp4.elements_from_state import ClassicalElements, elements_from_state
+from repro.sgp4.gravity import WGS72, WGS84, GravityModel
+from repro.sgp4.propagator import SGP4, PropagationResult
+
+__all__ = [
+    "ClassicalElements",
+    "GravityModel",
+    "PropagationResult",
+    "SGP4",
+    "WGS72",
+    "WGS84",
+    "elements_from_state",
+    "teme_to_geodetic",
+]

@@ -1,0 +1,68 @@
+"""Coordinate conversions for propagated states.
+
+SGP4 outputs positions in the TEME (True Equator, Mean Equinox) frame;
+for latitude-band analyses (paper §6, "Finer granularity") we rotate by
+GMST into an Earth-fixed frame and convert to geodetic coordinates.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.constants import WGS84_FLATTENING, WGS84_RADIUS_KM
+from repro.time import Epoch
+from repro.time.julian import gmst_rad
+
+
+def teme_to_ecef(
+    position_km: tuple[float, float, float], when: Epoch
+) -> tuple[float, float, float]:
+    """Rotate a TEME position into the pseudo Earth-fixed frame by GMST."""
+    theta = gmst_rad(when.jd)
+    cos_t = math.cos(theta)
+    sin_t = math.sin(theta)
+    x, y, z = position_km
+    return (cos_t * x + sin_t * y, -sin_t * x + cos_t * y, z)
+
+
+def ecef_to_geodetic(
+    position_km: tuple[float, float, float]
+) -> tuple[float, float, float]:
+    """ECEF position → ``(latitude_deg, longitude_deg, height_km)``.
+
+    Bowring's iterative method on the WGS-84 ellipsoid; converges to
+    sub-millimeter in a few iterations for LEO altitudes.
+    """
+    x, y, z = position_km
+    a = WGS84_RADIUS_KM
+    f = WGS84_FLATTENING
+    e2 = f * (2.0 - f)
+
+    longitude = math.atan2(y, x)
+    p = math.sqrt(x * x + y * y)
+    if p < 1e-9:  # on the polar axis
+        latitude = math.copysign(math.pi / 2.0, z)
+        height = abs(z) - a * math.sqrt(1.0 - e2)
+        return math.degrees(latitude), math.degrees(longitude), height
+
+    latitude = math.atan2(z, p * (1.0 - e2))
+    for _ in range(10):
+        sin_lat = math.sin(latitude)
+        n = a / math.sqrt(1.0 - e2 * sin_lat * sin_lat)
+        height = p / math.cos(latitude) - n
+        new_latitude = math.atan2(z, p * (1.0 - e2 * n / (n + height)))
+        if abs(new_latitude - latitude) < 1e-12:
+            latitude = new_latitude
+            break
+        latitude = new_latitude
+    sin_lat = math.sin(latitude)
+    n = a / math.sqrt(1.0 - e2 * sin_lat * sin_lat)
+    height = p / math.cos(latitude) - n
+    return math.degrees(latitude), math.degrees(longitude), height
+
+
+def teme_to_geodetic(
+    position_km: tuple[float, float, float], when: Epoch
+) -> tuple[float, float, float]:
+    """TEME position → geodetic ``(lat_deg, lon_deg, height_km)``."""
+    return ecef_to_geodetic(teme_to_ecef(position_km, when))

@@ -1,0 +1,126 @@
+"""Classical orbital elements from a state vector (RV -> COE).
+
+The inverse direction to propagation: given an osculating position and
+velocity (e.g. SGP4 output, or a radar fit), recover the Keplerian
+elements.  Used for validation (propagate, invert, compare) and by
+tooling that fits trajectories from observations.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.constants import TAU
+from repro.errors import PropagationError
+from repro.orbits.kepler import mean_from_true
+from repro.sgp4.gravity import WGS72, GravityModel
+
+
+@dataclass(frozen=True, slots=True)
+class ClassicalElements:
+    """Osculating Keplerian elements recovered from a state vector."""
+
+    sma_km: float
+    eccentricity: float
+    inclination_deg: float
+    raan_deg: float
+    argp_deg: float
+    true_anomaly_deg: float
+    mean_anomaly_deg: float
+
+    @property
+    def mean_motion_rev_day(self) -> float:
+        """Mean motion [rev/day] implied by the semi-major axis."""
+        from repro.orbits.conversions import mean_motion_from_sma
+
+        return mean_motion_from_sma(self.sma_km)
+
+
+def _cross(a: tuple[float, float, float], b: tuple[float, float, float]):
+    return (
+        a[1] * b[2] - a[2] * b[1],
+        a[2] * b[0] - a[0] * b[2],
+        a[0] * b[1] - a[1] * b[0],
+    )
+
+
+def _dot(a, b) -> float:
+    return a[0] * b[0] + a[1] * b[1] + a[2] * b[2]
+
+
+def _norm(a) -> float:
+    return math.sqrt(_dot(a, a))
+
+
+def elements_from_state(
+    position_km: tuple[float, float, float],
+    velocity_km_s: tuple[float, float, float],
+    gravity: GravityModel = WGS72,
+) -> ClassicalElements:
+    """Recover classical elements from an osculating state (Vallado's
+    RV2COE, elliptic non-degenerate case)."""
+    mu = gravity.mu
+    r_vec = position_km
+    v_vec = velocity_km_s
+    r = _norm(r_vec)
+    v = _norm(v_vec)
+    if r < 1e-6:
+        raise PropagationError("degenerate position vector")
+
+    h_vec = _cross(r_vec, v_vec)
+    h = _norm(h_vec)
+    if h < 1e-9:
+        raise PropagationError("rectilinear orbit: angular momentum is zero")
+    n_vec = _cross((0.0, 0.0, 1.0), h_vec)
+    n = _norm(n_vec)
+
+    rdotv = _dot(r_vec, v_vec)
+    e_vec = tuple(
+        ((v * v - mu / r) * r_vec[i] - rdotv * v_vec[i]) / mu for i in range(3)
+    )
+    ecc = _norm(e_vec)
+    energy = v * v / 2.0 - mu / r
+    if energy >= 0.0:
+        raise PropagationError("orbit is not elliptic (non-negative energy)")
+    sma = -mu / (2.0 * energy)
+
+    incl = math.acos(max(-1.0, min(1.0, h_vec[2] / h)))
+
+    if n > 1e-12:
+        raan = math.acos(max(-1.0, min(1.0, n_vec[0] / n)))
+        if n_vec[1] < 0.0:
+            raan = TAU - raan
+    else:  # equatorial: node undefined, take 0
+        raan = 0.0
+
+    if ecc > 1e-10 and n > 1e-12:
+        argp = math.acos(max(-1.0, min(1.0, _dot(n_vec, e_vec) / (n * ecc))))
+        if e_vec[2] < 0.0:
+            argp = TAU - argp
+    else:
+        argp = 0.0
+
+    if ecc > 1e-10:
+        nu = math.acos(max(-1.0, min(1.0, _dot(e_vec, r_vec) / (ecc * r))))
+        if rdotv < 0.0:
+            nu = TAU - nu
+    else:
+        # Circular: use the argument of latitude relative to the node.
+        if n > 1e-12:
+            nu = math.acos(max(-1.0, min(1.0, _dot(n_vec, r_vec) / (n * r))))
+            if r_vec[2] < 0.0:
+                nu = TAU - nu
+        else:
+            nu = math.atan2(r_vec[1], r_vec[0]) % TAU
+
+    mean_anomaly = mean_from_true(nu, min(ecc, 0.999999))
+    return ClassicalElements(
+        sma_km=sma,
+        eccentricity=ecc,
+        inclination_deg=math.degrees(incl),
+        raan_deg=math.degrees(raan),
+        argp_deg=math.degrees(argp),
+        true_anomaly_deg=math.degrees(nu),
+        mean_anomaly_deg=math.degrees(mean_anomaly),
+    )

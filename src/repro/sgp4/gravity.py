@@ -1,0 +1,65 @@
+"""Gravity model constants for SGP4.
+
+TLEs are fitted against WGS-72, so that is the default everywhere;
+WGS-84 is provided for comparison studies.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, slots=True)
+class GravityModel:
+    """Zonal-harmonic gravity model in SGP4 canonical units."""
+
+    #: Name of the model.
+    name: str
+    #: Gravitational parameter [km^3/s^2].
+    mu: float
+    #: Equatorial radius [km].
+    radius_km: float
+    #: Zonal harmonics.
+    j2: float
+    j3: float
+    j4: float
+    #: sqrt(mu) in canonical units (er^1.5/min), derived.
+    xke: float = field(init=False)
+    #: 1/xke.
+    tumin: float = field(init=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "xke", 60.0 / math.sqrt(self.radius_km**3 / self.mu)
+        )
+        object.__setattr__(self, "tumin", 1.0 / self.xke)
+
+    @property
+    def k2(self) -> float:
+        """J2/2 in canonical units (earth radii normalized to 1)."""
+        return 0.5 * self.j2
+
+    @property
+    def j3oj2(self) -> float:
+        """J3/J2 ratio used by the long-period periodic terms."""
+        return self.j3 / self.j2
+
+
+WGS72 = GravityModel(
+    name="WGS-72",
+    mu=398600.8,
+    radius_km=6378.135,
+    j2=0.001082616,
+    j3=-0.00000253881,
+    j4=-0.00000165597,
+)
+
+WGS84 = GravityModel(
+    name="WGS-84",
+    mu=398600.5,
+    radius_km=6378.137,
+    j2=0.00108262998905,
+    j3=-0.00000253215306,
+    j4=-0.00000161098761,
+)

@@ -1,0 +1,373 @@
+"""Near-Earth SGP4 analytic propagation.
+
+A from-scratch implementation of the SGP4 model (Hoots & Roehrich,
+Spacetrack Report #3, with the standard Vallado-revision fixes) for
+near-Earth orbits — period < 225 minutes, which covers every LEO
+satellite in the paper's dataset.  Deep-space orbits raise
+:class:`PropagationError`.
+
+The propagator converts a TLE's Brouwer mean elements into osculating
+position/velocity in the TEME frame.  It models:
+
+* secular J2/J3/J4 gravitational perturbations,
+* secular atmospheric drag through the B* term (power-density model),
+* long-period and short-period periodic corrections.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import PropagationError
+from repro.sgp4.gravity import WGS72, GravityModel
+from repro.time import Epoch
+from repro.tle.elements import MeanElements
+
+_DEG2RAD = math.pi / 180.0
+_TWOPI = 2.0 * math.pi
+_X2O3 = 2.0 / 3.0
+
+
+@dataclass(frozen=True, slots=True)
+class PropagationResult:
+    """Osculating state in the TEME frame."""
+
+    #: Position [km].
+    position_km: tuple[float, float, float]
+    #: Velocity [km/s].
+    velocity_km_s: tuple[float, float, float]
+    #: Minutes since the element-set epoch.
+    tsince_min: float
+
+    @property
+    def radius_km(self) -> float:
+        """Geocentric distance [km]."""
+        x, y, z = self.position_km
+        return math.sqrt(x * x + y * y + z * z)
+
+    @property
+    def speed_km_s(self) -> float:
+        """Speed [km/s]."""
+        vx, vy, vz = self.velocity_km_s
+        return math.sqrt(vx * vx + vy * vy + vz * vz)
+
+
+class SGP4:
+    """SGP4 propagator initialized from one TLE element set."""
+
+    def __init__(self, elements: MeanElements, gravity: GravityModel = WGS72) -> None:
+        self.elements = elements
+        self.gravity = gravity
+        self._init()
+
+    # --- initialization ----------------------------------------------------
+    def _init(self) -> None:
+        grav = self.gravity
+        el = self.elements
+
+        self._bstar = el.bstar
+        ecco = el.eccentricity
+        inclo = el.inclination_deg * _DEG2RAD
+        nodeo = el.raan_deg * _DEG2RAD % _TWOPI
+        argpo = el.argp_deg * _DEG2RAD % _TWOPI
+        mo = el.mean_anomaly_deg * _DEG2RAD % _TWOPI
+        no_kozai = el.mean_motion_rev_day * _TWOPI / 1440.0  # rad/min
+
+        if no_kozai <= 0.0:
+            raise PropagationError("mean motion must be positive")
+        if el.period_minutes >= 225.0:
+            raise PropagationError(
+                f"deep-space orbit (period {el.period_minutes:.1f} min >= 225); "
+                "only near-Earth SGP4 is implemented"
+            )
+
+        self._ecco = ecco
+        self._inclo = inclo
+        self._nodeo = nodeo
+        self._argpo = argpo
+        self._mo = mo
+
+        # --- recover original mean motion (un-Kozai) ---------------------
+        j2 = grav.j2
+        xke = grav.xke
+        ss = 78.0 / grav.radius_km + 1.0
+        qzms2t = ((120.0 - 78.0) / grav.radius_km) ** 4
+
+        cosio = math.cos(inclo)
+        cosio2 = cosio * cosio
+        eccsq = ecco * ecco
+        omeosq = 1.0 - eccsq
+        rteosq = math.sqrt(omeosq)
+
+        ak = (xke / no_kozai) ** _X2O3
+        d1 = 0.75 * j2 * (3.0 * cosio2 - 1.0) / (rteosq * omeosq)
+        del_ = d1 / (ak * ak)
+        adel = ak * (1.0 - del_ * del_ - del_ * (1.0 / 3.0 + 134.0 * del_ * del_ / 81.0))
+        del_ = d1 / (adel * adel)
+        no_unkozai = no_kozai / (1.0 + del_)
+        self._no_unkozai = no_unkozai
+
+        ao = (xke / no_unkozai) ** _X2O3
+        sinio = math.sin(inclo)
+        po = ao * omeosq
+        con42 = 1.0 - 5.0 * cosio2
+        con41 = -con42 - cosio2 - cosio2
+        posq = po * po
+        rp = ao * (1.0 - ecco)
+
+        self._con41 = con41
+
+        # Perigee height drives the density-function fitting constants.
+        perige = (rp - 1.0) * grav.radius_km
+        sfour = ss
+        qzms24 = qzms2t
+        if perige < 156.0:
+            sfour = perige - 78.0
+            if perige < 98.0:
+                sfour = 20.0
+            qzms24 = ((120.0 - sfour) / grav.radius_km) ** 4
+            sfour = sfour / grav.radius_km + 1.0
+
+        pinvsq = 1.0 / posq
+        tsi = 1.0 / (ao - sfour)
+        self._eta = ao * ecco * tsi
+        etasq = self._eta * self._eta
+        eeta = ecco * self._eta
+        psisq = abs(1.0 - etasq)
+        coef = qzms24 * tsi**4
+        coef1 = coef / psisq**3.5
+        cc2 = (
+            coef1
+            * no_unkozai
+            * (
+                ao * (1.0 + 1.5 * etasq + eeta * (4.0 + etasq))
+                + 0.375 * j2 * tsi / psisq * con41 * (8.0 + 3.0 * etasq * (8.0 + etasq))
+            )
+        )
+        self._cc1 = self._bstar * cc2
+        cc3 = 0.0
+        if ecco > 1.0e-4:
+            cc3 = -2.0 * coef * tsi * (grav.j3 / j2) * no_unkozai * sinio / ecco
+        self._x1mth2 = 1.0 - cosio2
+        self._cc4 = (
+            2.0
+            * no_unkozai
+            * coef1
+            * ao
+            * omeosq
+            * (
+                self._eta * (2.0 + 0.5 * etasq)
+                + ecco * (0.5 + 2.0 * etasq)
+                - j2 * tsi / (ao * psisq)
+                * (
+                    -3.0 * con41 * (1.0 - 2.0 * eeta + etasq * (1.5 - 0.5 * eeta))
+                    + 0.75 * self._x1mth2 * (2.0 * etasq - eeta * (1.0 + etasq)) * math.cos(2.0 * argpo)
+                )
+            )
+        )
+        self._cc5 = 2.0 * coef1 * ao * omeosq * (1.0 + 2.75 * (etasq + eeta) + eeta * etasq)
+
+        cosio4 = cosio2 * cosio2
+        temp1 = 1.5 * j2 * pinvsq * no_unkozai
+        temp2 = 0.5 * temp1 * j2 * pinvsq
+        temp3 = -0.46875 * grav.j4 * pinvsq * pinvsq * no_unkozai
+        self._mdot = (
+            no_unkozai
+            + 0.5 * temp1 * rteosq * con41
+            + 0.0625 * temp2 * rteosq * (13.0 - 78.0 * cosio2 + 137.0 * cosio4)
+        )
+        self._argpdot = (
+            -0.5 * temp1 * con42
+            + 0.0625 * temp2 * (7.0 - 114.0 * cosio2 + 395.0 * cosio4)
+            + temp3 * (3.0 - 36.0 * cosio2 + 49.0 * cosio4)
+        )
+        xhdot1 = -temp1 * cosio
+        self._nodedot = xhdot1 + (
+            0.5 * temp2 * (4.0 - 19.0 * cosio2) + 2.0 * temp3 * (3.0 - 7.0 * cosio2)
+        ) * cosio
+        self._xnodcf = 3.5 * omeosq * xhdot1 * self._cc1
+        self._t2cof = 1.5 * self._cc1
+        # Avoid division by zero for i ~ 180 deg.
+        if abs(cosio + 1.0) > 1.5e-12:
+            self._xlcof = -0.25 * (grav.j3 / j2) * sinio * (3.0 + 5.0 * cosio) / (1.0 + cosio)
+        else:
+            self._xlcof = -0.25 * (grav.j3 / j2) * sinio * (3.0 + 5.0 * cosio) / 1.5e-12
+        self._aycof = -0.5 * (grav.j3 / j2) * sinio
+        self._delmo = (1.0 + self._eta * math.cos(mo)) ** 3
+        self._sinmao = math.sin(mo)
+        self._x7thm1 = 7.0 * cosio2 - 1.0
+
+        # --- drag terms beyond C1 (skipped for very low perigee "simple" mode)
+        self._isimp = rp < 220.0 / grav.radius_km + 1.0
+        self._omgcof = 0.0
+        self._xmcof = 0.0
+        self._d2 = self._d3 = self._d4 = 0.0
+        self._t3cof = self._t4cof = self._t5cof = 0.0
+        if not self._isimp:
+            cc1sq = self._cc1 * self._cc1
+            self._d2 = 4.0 * ao * tsi * cc1sq
+            temp = self._d2 * tsi * self._cc1 / 3.0
+            self._d3 = (17.0 * ao + sfour) * temp
+            self._d4 = 0.5 * temp * ao * tsi * (221.0 * ao + 31.0 * sfour) * self._cc1
+            self._t3cof = self._d2 + 2.0 * cc1sq
+            self._t4cof = 0.25 * (3.0 * self._d3 + self._cc1 * (12.0 * self._d2 + 10.0 * cc1sq))
+            self._t5cof = 0.2 * (
+                3.0 * self._d4
+                + 12.0 * self._cc1 * self._d3
+                + 6.0 * self._d2 * self._d2
+                + 15.0 * cc1sq * (2.0 * self._d2 + cc1sq)
+            )
+            self._omgcof = self._bstar * cc3 * math.cos(argpo)
+            if ecco > 1.0e-4:
+                self._xmcof = -_X2O3 * coef * self._bstar / eeta
+
+        self._cosio = cosio
+        self._sinio = sinio
+
+    # --- propagation ------------------------------------------------------------
+    def propagate_minutes(self, tsince_min: float) -> PropagationResult:
+        """Propagate *tsince_min* minutes past the element-set epoch."""
+        grav = self.gravity
+        xke = grav.xke
+        t = tsince_min
+
+        # Secular gravity + drag.
+        xmdf = self._mo + self._mdot * t
+        argpdf = self._argpo + self._argpdot * t
+        nodedf = self._nodeo + self._nodedot * t
+        nodem = nodedf + self._xnodcf * t * t
+        tempa = 1.0 - self._cc1 * t
+        tempe = self._bstar * self._cc4 * t
+        templ = self._t2cof * t * t
+
+        argpm = argpdf
+        mm = xmdf
+        if not self._isimp:
+            delomg = self._omgcof * t
+            delm = self._xmcof * ((1.0 + self._eta * math.cos(xmdf)) ** 3 - self._delmo)
+            temp = delomg + delm
+            mm = xmdf + temp
+            argpm = argpdf - temp
+            t2 = t * t
+            t3 = t2 * t
+            t4 = t3 * t
+            tempa -= self._d2 * t2 + self._d3 * t3 + self._d4 * t4
+            tempe += self._bstar * self._cc5 * (math.sin(mm) - self._sinmao)
+            templ += self._t3cof * t3 + (self._t4cof + t * self._t5cof) * t4
+
+        nm = self._no_unkozai
+        em = self._ecco
+        am = (xke / nm) ** _X2O3 * tempa * tempa
+        nm = xke / am**1.5
+        em -= tempe
+
+        if em >= 1.0 or em < -0.001:
+            raise PropagationError(f"eccentricity {em:.6f} out of range at t={t} min")
+        if em < 1.0e-6:
+            em = 1.0e-6
+        if am < 0.95:
+            raise PropagationError(
+                f"satellite decayed: semi-major axis {am:.4f} er at t={t} min"
+            )
+
+        mm = mm + self._no_unkozai * templ
+        xlm = mm + argpm + nodem
+        nodem = nodem % _TWOPI
+        argpm = argpm % _TWOPI
+        xlm = xlm % _TWOPI
+        mm = (xlm - argpm - nodem) % _TWOPI
+
+        inclm = self._inclo
+        sinim = math.sin(inclm)
+        cosim = math.cos(inclm)
+
+        # Long-period periodics.
+        axnl = em * math.cos(argpm)
+        temp = 1.0 / (am * (1.0 - em * em))
+        aynl = em * math.sin(argpm) + temp * self._aycof
+        xl = mm + argpm + nodem + temp * self._xlcof * axnl
+
+        # Kepler's equation for (E + omega).
+        u = (xl - nodem) % _TWOPI
+        eo1 = u
+        tem5 = 9999.9
+        iteration = 0
+        sineo1 = coseo1 = 0.0
+        while abs(tem5) >= 1.0e-12 and iteration < 10:
+            sineo1 = math.sin(eo1)
+            coseo1 = math.cos(eo1)
+            tem5 = 1.0 - coseo1 * axnl - sineo1 * aynl
+            tem5 = (u - aynl * coseo1 + axnl * sineo1 - eo1) / tem5
+            if abs(tem5) >= 0.95:
+                tem5 = 0.95 if tem5 > 0.0 else -0.95
+            eo1 += tem5
+            iteration += 1
+
+        # Short-period periodics.
+        ecose = axnl * coseo1 + aynl * sineo1
+        esine = axnl * sineo1 - aynl * coseo1
+        el2 = axnl * axnl + aynl * aynl
+        pl = am * (1.0 - el2)
+        if pl < 0.0:
+            raise PropagationError(f"semi-latus rectum negative at t={t} min")
+
+        rl = am * (1.0 - ecose)
+        rdotl = math.sqrt(am) * esine / rl
+        rvdotl = math.sqrt(pl) / rl
+        betal = math.sqrt(1.0 - el2)
+        temp = esine / (1.0 + betal)
+        sinu = am / rl * (sineo1 - aynl - axnl * temp)
+        cosu = am / rl * (coseo1 - axnl + aynl * temp)
+        su = math.atan2(sinu, cosu)
+        sin2u = (cosu + cosu) * sinu
+        cos2u = 1.0 - 2.0 * sinu * sinu
+        temp = 1.0 / pl
+        temp1 = 0.5 * grav.j2 * temp
+        temp2 = temp1 * temp
+
+        mrt = (
+            rl * (1.0 - 1.5 * temp2 * betal * self._con41)
+            + 0.5 * temp1 * self._x1mth2 * cos2u
+        )
+        su -= 0.25 * temp2 * self._x7thm1 * sin2u
+        xnode = nodem + 1.5 * temp2 * cosim * sin2u
+        xinc = inclm + 1.5 * temp2 * cosim * sinim * cos2u
+        mvt = rdotl - nm * temp1 * self._x1mth2 * sin2u / xke
+        rvdot = rvdotl + nm * temp1 * (self._x1mth2 * cos2u + 1.5 * self._con41) / xke
+
+        # Orientation vectors → TEME position/velocity.
+        sinsu = math.sin(su)
+        cossu = math.cos(su)
+        snod = math.sin(xnode)
+        cnod = math.cos(xnode)
+        sini = math.sin(xinc)
+        cosi = math.cos(xinc)
+        xmx = -snod * cosi
+        xmy = cnod * cosi
+        ux = xmx * sinsu + cnod * cossu
+        uy = xmy * sinsu + snod * cossu
+        uz = sini * sinsu
+        vx = xmx * cossu - cnod * sinsu
+        vy = xmy * cossu - snod * sinsu
+        vz = sini * cossu
+
+        if mrt < 1.0:
+            raise PropagationError(
+                f"satellite decayed: radius {mrt:.4f} er at t={t} min"
+            )
+
+        radius = grav.radius_km
+        vkmpersec = radius * xke / 60.0
+        position = (mrt * ux * radius, mrt * uy * radius, mrt * uz * radius)
+        velocity = (
+            (mvt * ux + rvdot * vx) * vkmpersec,
+            (mvt * uy + rvdot * vy) * vkmpersec,
+            (mvt * uz + rvdot * vz) * vkmpersec,
+        )
+        return PropagationResult(position, velocity, t)
+
+    def propagate(self, when: Epoch) -> PropagationResult:
+        """Propagate to an absolute epoch."""
+        tsince_min = (when.unix - self.elements.epoch.unix) / 60.0
+        return self.propagate_minutes(tsince_min)

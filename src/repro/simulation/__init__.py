@@ -1,0 +1,48 @@
+"""Synthetic data generation — the data substitution layer.
+
+This environment has no network access to WDC Kyoto or Space-Track, so
+the generators here stand in for the paper's two public datasets: a
+stochastic Dst model whose percentile structure is calibrated to the
+paper's measurement window, and an orbital-dynamics constellation
+simulator sampled through a TLE observation model.  See DESIGN.md §2
+for the substitution rationale.
+"""
+
+from repro.simulation.constellation import ConstellationConfig, ConstellationSimulator
+from repro.simulation.historical import famous_storms, historical_dst
+from repro.simulation.satellite import (
+    LifecycleConfig,
+    SatelliteState,
+    SimulatedSatellite,
+)
+from repro.simulation.solarmodel import (
+    SolarActivityModel,
+    StormSpec,
+    paper_window_storms,
+)
+from repro.simulation.scenario import (
+    Scenario,
+    may2024_scenario,
+    paper_scenario,
+    quickstart_scenario,
+)
+from repro.simulation.tracking import TrackingConfig, TrackingSimulator
+
+__all__ = [
+    "ConstellationConfig",
+    "ConstellationSimulator",
+    "LifecycleConfig",
+    "SatelliteState",
+    "Scenario",
+    "SimulatedSatellite",
+    "SolarActivityModel",
+    "StormSpec",
+    "TrackingConfig",
+    "TrackingSimulator",
+    "famous_storms",
+    "historical_dst",
+    "may2024_scenario",
+    "paper_scenario",
+    "paper_window_storms",
+    "quickstart_scenario",
+]

@@ -1,0 +1,334 @@
+"""Per-satellite lifecycle simulation.
+
+Each satellite walks through the Starlink deployment lifecycle the
+paper describes: insertion at a ~350 km staging orbit, orbit raising to
+the operational shell, long station-kept operation, and eventually a
+deliberate de-orbit — with storm-driven hazards layered on top:
+
+* **drag sag** — every satellite rides slightly below its slot while
+  the thermosphere is enhanced, recovering afterwards (station keeping
+  absorbs the extra drag with some lag);
+* **station-keeping outage** — radiation upsets knock out orbit
+  maintenance for days-to-weeks; the satellite decays under drag, then
+  recovers and raises back (the paper's 10s-of-km "cosmic dance");
+* **derelict decay** — a small fraction of hits are permanent: the
+  satellite tumbles (larger effective cross-section) and decays until
+  re-entry (the paper's premature-orbital-decay corner case).
+
+The output is ground-truth trajectory sampled on a regular grid; the
+tracking simulator turns it into TLEs.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.atmosphere.density import ThermosphereModel
+from repro.atmosphere.drag import STARLINK_BALLISTIC, BallisticCoefficient, decay_rate_km_per_day
+from repro.errors import SimulationError
+from repro.orbits.shells import STAGING_ALTITUDE_KM, Shell
+from repro.time import Epoch
+
+
+class SatelliteState(enum.Enum):
+    """Lifecycle state of a simulated satellite."""
+
+    STAGING = "staging"
+    RAISING = "raising"
+    OPERATIONAL = "operational"
+    OUTAGE = "outage"
+    RECOVERING = "recovering"
+    DERELICT = "derelict"
+    DEORBITING = "deorbiting"
+    REENTERED = "reentered"
+
+
+@dataclass(frozen=True, slots=True)
+class LifecycleConfig:
+    """Lifecycle and hazard parameters."""
+
+    #: Days spent testing in the staging orbit.
+    staging_days: float = 45.0
+    #: Orbit-raising rate [km/day].
+    raise_rate_km_day: float = 2.5
+    #: Station-keeping deadband: the satellite coasts under drag and
+    #: boosts back once it has sagged this far below its slot [km].
+    deadband_km: float = 1.5
+    #: Density-enhancement level at/above which operators pause orbit
+    #: raising maneuvers fleet-wide (storm-time safe-mode posture).
+    storm_hold_enhancement: float = 1.55
+    #: Once a hold triggers, per-satellite range of days before normal
+    #: boosting resumes (maneuver-queue backlog after the storm).  The
+    #: long tail reproduces the paper's observation that 95th-ptile
+    #: deviations persist at ~10 km a month after the event.
+    storm_backlog_days_range: tuple[float, float] = (2.0, 32.0)
+    #: Base probability per day of a station-keeping outage at
+    #: enhancement factor 2 (scales quadratically with excess).
+    outage_rate_per_day: float = 0.05
+    #: Probability that a hazard hit is permanent (derelict) rather
+    #: than a recoverable outage.
+    derelict_fraction: float = 0.04
+    #: Outage duration range [days].
+    outage_days_range: tuple[float, float] = (4.0, 25.0)
+    #: Effective cross-section multiplier for a tumbling derelict.
+    tumbling_area_factor: float = 4.0
+    #: Density enhancement at which the staging orbit (where drag is an
+    #: order of magnitude higher) exceeds the thrusters' authority — the
+    #: mechanism behind the Feb 2022 loss of 38 staging satellites.
+    staging_loss_enhancement: float = 1.9
+    #: Loss rate per day while the staging orbit is over-enhanced.
+    staging_loss_rate_per_day: float = 0.4
+    #: Deliberate de-orbit descent rate [km/day] (propulsive + drag).
+    deorbit_rate_km_day: float = 3.0
+    #: Altitude below which the satellite re-enters [km].
+    reentry_altitude_km: float = 200.0
+    #: Altitude hold tolerance for station keeping [km].
+    hold_noise_km: float = 0.08
+
+    def __post_init__(self) -> None:
+        if self.staging_days < 0 or self.raise_rate_km_day <= 0:
+            raise SimulationError("invalid staging/raising configuration")
+        if not 0.0 <= self.derelict_fraction <= 1.0:
+            raise SimulationError(
+                f"derelict fraction must be in [0, 1]: {self.derelict_fraction}"
+            )
+        if self.outage_days_range[0] > self.outage_days_range[1]:
+            raise SimulationError("outage duration range reversed")
+        if self.storm_backlog_days_range[0] > self.storm_backlog_days_range[1]:
+            raise SimulationError("storm backlog range reversed")
+        if self.storm_hold_enhancement <= 1.0:
+            raise SimulationError("storm hold enhancement must exceed 1.0")
+
+
+@dataclass(slots=True)
+class TruthTrajectory:
+    """Ground-truth trajectory of one satellite on a regular grid."""
+
+    catalog_number: int
+    shell: Shell
+    #: Grid timestamps [Unix s].
+    times: np.ndarray
+    #: True mean altitude [km]; NaN after re-entry.
+    altitude_km: np.ndarray
+    #: Local density enhancement experienced (drives fitted B*).
+    density_ratio: np.ndarray
+    #: Lifecycle state per sample.
+    states: list[SatelliteState]
+
+    def state_at_index(self, i: int) -> SatelliteState:
+        return self.states[i]
+
+    @property
+    def reentered(self) -> bool:
+        """Whether the satellite re-entered within the window."""
+        return self.states[-1] is SatelliteState.REENTERED
+
+    def final_altitude_km(self) -> float:
+        """Last finite altitude [km]."""
+        finite = self.altitude_km[np.isfinite(self.altitude_km)]
+        if finite.size == 0:
+            raise SimulationError("trajectory has no finite altitude samples")
+        return float(finite[-1])
+
+
+class SimulatedSatellite:
+    """Simulates one satellite's ground-truth trajectory."""
+
+    def __init__(
+        self,
+        catalog_number: int,
+        shell: Shell,
+        launch: Epoch,
+        *,
+        config: LifecycleConfig | None = None,
+        ballistic: BallisticCoefficient = STARLINK_BALLISTIC,
+        deorbit_after_days: float | None = None,
+    ) -> None:
+        self.catalog_number = catalog_number
+        self.shell = shell
+        self.launch = launch
+        self.config = config or LifecycleConfig()
+        self.ballistic = ballistic
+        #: Scheduled decommissioning time, if any (drives Fig. 10(b)'s
+        #: de-orbiting population).
+        self.deorbit_after_days = deorbit_after_days
+
+    def simulate(
+        self,
+        thermosphere: ThermosphereModel,
+        end: Epoch,
+        *,
+        seed: int,
+        step_hours: float = 6.0,
+    ) -> TruthTrajectory:
+        """Integrate the trajectory from launch to *end*."""
+        if end.unix <= self.launch.unix:
+            raise SimulationError("simulation end precedes launch")
+        if step_hours <= 0:
+            raise SimulationError(f"step must be positive: {step_hours}")
+        cfg = self.config
+        rng = np.random.default_rng(seed)
+        step_s = step_hours * 3600.0
+        step_days = step_hours / 24.0
+        n = int((end.unix - self.launch.unix) // step_s) + 1
+        times = self.launch.unix + step_s * np.arange(n)
+
+        altitude = np.empty(n)
+        ratio = np.empty(n)
+        states: list[SatelliteState] = []
+
+        state = SatelliteState.STAGING
+        alt = STAGING_ALTITUDE_KM
+        boosting = False
+        boost_hold_until = -math.inf
+        outage_left_days = 0.0
+        target = self.shell.altitude_km
+        # Per-satellite deadband jitter de-synchronizes the fleet's
+        # station-keeping sawtooth phases.
+        deadband = cfg.deadband_km * float(rng.uniform(0.7, 1.3))
+        deorbit_at_unix = (
+            self.launch.unix + self.deorbit_after_days * 86400.0
+            if self.deorbit_after_days is not None
+            else None
+        )
+
+        for i in range(n):
+            t = float(times[i])
+            enh = thermosphere.enhancement_at(t)
+            excess = max(0.0, enh - 1.0)
+
+            if state is SatelliteState.REENTERED:
+                altitude[i] = np.nan
+                ratio[i] = enh
+                states.append(state)
+                continue
+
+            # Scheduled decommissioning pre-empts normal operation.
+            if (
+                deorbit_at_unix is not None
+                and t >= deorbit_at_unix
+                and state in (SatelliteState.OPERATIONAL, SatelliteState.RECOVERING)
+            ):
+                state = SatelliteState.DEORBITING
+
+            if state is SatelliteState.STAGING:
+                alt = STAGING_ALTITUDE_KM
+                # Staged satellites are lost when storm-time drag at
+                # ~350 km (an order of magnitude above operational
+                # drag) exceeds their thrust authority — the Feb 2022
+                # incident mechanism.
+                if enh >= cfg.staging_loss_enhancement and rng.random() < min(
+                    cfg.staging_loss_rate_per_day * step_days, 1.0
+                ):
+                    state = SatelliteState.DERELICT
+                elif t - self.launch.unix >= cfg.staging_days * 86400.0:
+                    state = SatelliteState.RAISING
+            elif state is SatelliteState.RAISING:
+                alt += cfg.raise_rate_km_day * step_days
+                if alt >= target:
+                    alt = target
+                    state = SatelliteState.OPERATIONAL
+                elif self._hazard_hits(rng, excess, step_days):
+                    # A storm can hit mid-raise too; a recoverable upset
+                    # just pauses the raise (handled as outage below the
+                    # operational slot), a permanent one is fatal.
+                    if rng.random() < cfg.derelict_fraction:
+                        state = SatelliteState.DERELICT
+                    else:
+                        state = SatelliteState.OUTAGE
+                        outage_left_days = float(rng.uniform(*cfg.outage_days_range))
+            elif state in (SatelliteState.OPERATIONAL, SatelliteState.RECOVERING):
+                if state is SatelliteState.RECOVERING:
+                    alt += cfg.raise_rate_km_day * step_days
+                    if alt >= target:
+                        alt = target
+                        state = SatelliteState.OPERATIONAL
+                        boosting = False
+                else:
+                    # Storm posture: while the thermosphere is strongly
+                    # enhanced, operators pause maneuvers fleet-wide;
+                    # each satellite then waits out its share of the
+                    # post-storm maneuver backlog before boosting again.
+                    if enh >= cfg.storm_hold_enhancement:
+                        backlog = float(rng.uniform(*cfg.storm_backlog_days_range))
+                        boost_hold_until = max(
+                            boost_hold_until, t + backlog * 86400.0
+                        )
+                    holding = t < boost_hold_until
+                    # Boost/coast sawtooth: coast down under drag, boost
+                    # back up after sagging through the deadband.
+                    if boosting and not holding:
+                        alt += cfg.raise_rate_km_day * step_days
+                        if alt >= target:
+                            alt = target
+                            boosting = False
+                    else:
+                        alt += self._drag_step_km(alt, t, thermosphere, step_days, 1.0)
+                        if alt <= target - deadband and not holding:
+                            boosting = True
+                if self._hazard_hits(rng, excess, step_days):
+                    if rng.random() < cfg.derelict_fraction:
+                        state = SatelliteState.DERELICT
+                    else:
+                        state = SatelliteState.OUTAGE
+                        outage_left_days = float(
+                            rng.uniform(*cfg.outage_days_range)
+                        )
+            elif state is SatelliteState.OUTAGE:
+                alt += self._drag_step_km(alt, t, thermosphere, step_days, 1.0)
+                outage_left_days -= step_days
+                if outage_left_days <= 0.0:
+                    state = SatelliteState.RECOVERING
+            elif state is SatelliteState.DERELICT:
+                alt += self._drag_step_km(
+                    alt, t, thermosphere, step_days, cfg.tumbling_area_factor
+                )
+            elif state is SatelliteState.DEORBITING:
+                alt -= cfg.deorbit_rate_km_day * step_days
+                alt += self._drag_step_km(alt, t, thermosphere, step_days, 1.0)
+
+            if alt <= cfg.reentry_altitude_km:
+                state = SatelliteState.REENTERED
+                altitude[i] = np.nan
+                ratio[i] = enh
+                states.append(state)
+                continue
+
+            # Small non-accumulating hold jitter models attitude and
+            # maneuver wobble in the recorded (true) altitude.
+            altitude[i] = alt + rng.normal(0.0, cfg.hold_noise_km)
+            ratio[i] = enh
+            states.append(state)
+
+        return TruthTrajectory(
+            catalog_number=self.catalog_number,
+            shell=self.shell,
+            times=times,
+            altitude_km=altitude,
+            density_ratio=ratio,
+            states=states,
+        )
+
+    def _hazard_hits(self, rng: np.random.Generator, excess: float, step_days: float) -> bool:
+        """Bernoulli hazard: quadratic in the excess density enhancement."""
+        if excess <= 0.0:
+            return False
+        prob = self.config.outage_rate_per_day * excess * excess * step_days
+        return bool(rng.random() < min(prob, 1.0))
+
+    def _drag_step_km(
+        self,
+        alt: float,
+        unix_time: float,
+        thermosphere: ThermosphereModel,
+        step_days: float,
+        area_factor: float,
+    ) -> float:
+        """Altitude change [km] from drag over one step (negative)."""
+        density = thermosphere.density_at(max(alt, 150.0), unix_time)
+        rate = decay_rate_km_per_day(alt, density, self.ballistic)
+        return rate * area_factor * step_days

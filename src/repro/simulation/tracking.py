@@ -1,0 +1,168 @@
+"""TLE observation simulation.
+
+Samples ground-truth trajectories the way CSpOC tracking samples real
+satellites: element sets are refreshed at irregular intervals (<1 h to
+154 h, mean ~12 h per the paper), carry small fit noise, and — rarely —
+contain gross tracking errors whose implied altitudes reach tens of
+thousands of km (the long tail of the paper's Fig. 10(a) that the
+cleaning stage must remove).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.atmosphere.drag import BSTAR_QUIET_550
+from repro.errors import SimulationError
+from repro.orbits.conversions import mean_motion_from_altitude
+from repro.simulation.satellite import SatelliteState, TruthTrajectory
+from repro.time import Epoch
+from repro.tle.elements import MeanElements
+
+
+@dataclass(frozen=True, slots=True)
+class TrackingConfig:
+    """TLE observation model parameters."""
+
+    #: Mean element-set refresh interval [hours] (paper: ~12 h).
+    mean_refresh_hours: float = 12.0
+    #: Shortest and longest observed refresh gaps [hours] (paper: <1..154).
+    refresh_bounds_hours: tuple[float, float] = (0.5, 154.0)
+    #: 1-sigma altitude fit noise [km] (trackers quote 10s of meters).
+    altitude_noise_km: float = 0.04
+    #: Probability a record is a gross tracking error.
+    gross_error_probability: float = 0.004
+    #: Implied-altitude range of gross errors [km] (long tail to ~40,000).
+    gross_error_altitude_range_km: tuple[float, float] = (700.0, 40000.0)
+    #: Quiet-time fitted B* for a station-kept satellite [1/er].
+    quiet_bstar: float = BSTAR_QUIET_550
+    #: Lognormal sigma of B* fit noise.
+    bstar_noise_sigma: float = 0.18
+    #: Multiplier a tumbling derelict's fitted B* picks up.
+    derelict_bstar_factor: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.mean_refresh_hours <= 0:
+            raise SimulationError("mean refresh must be positive")
+        lo, hi = self.refresh_bounds_hours
+        if not 0 < lo <= hi:
+            raise SimulationError("bad refresh bounds")
+        if not 0.0 <= self.gross_error_probability < 1.0:
+            raise SimulationError("gross error probability must be in [0, 1)")
+
+
+class TrackingSimulator:
+    """Turns ground-truth trajectories into TLE element sets."""
+
+    def __init__(self, config: TrackingConfig | None = None) -> None:
+        self.config = config or TrackingConfig()
+
+    def observe(self, trajectory: TruthTrajectory, *, seed: int) -> list[MeanElements]:
+        """Generate the TLE history of one satellite."""
+        cfg = self.config
+        rng = np.random.default_rng(seed)
+        start = float(trajectory.times[0])
+        end = float(trajectory.times[-1])
+
+        # Per-satellite constants of the observation geometry.
+        raan0 = float(rng.uniform(0.0, 360.0))
+        argp0 = float(rng.uniform(0.0, 360.0))
+        ma0 = float(rng.uniform(0.0, 360.0))
+        eccentricity = abs(float(rng.normal(1.5e-4, 5e-5)))
+        intl = self._intl_designator(trajectory)
+
+        records: list[MeanElements] = []
+        t = start + float(rng.uniform(0.0, cfg.mean_refresh_hours)) * 3600.0
+        element_number = 1
+        while t <= end:
+            idx = int(np.searchsorted(trajectory.times, t, side="right")) - 1
+            idx = max(idx, 0)
+            true_alt = float(trajectory.altitude_km[idx])
+            state = trajectory.state_at_index(idx)
+            if not math.isfinite(true_alt) or state is SatelliteState.REENTERED:
+                break  # object decayed; tracking stops
+
+            if rng.random() < cfg.gross_error_probability:
+                observed_alt = float(
+                    rng.uniform(*cfg.gross_error_altitude_range_km)
+                )
+            else:
+                observed_alt = true_alt + float(rng.normal(0.0, cfg.altitude_noise_km))
+
+            ratio = float(trajectory.density_ratio[idx])
+            bstar_factor = (
+                cfg.derelict_bstar_factor
+                if state is SatelliteState.DERELICT
+                else 1.0
+            )
+            bstar = (
+                cfg.quiet_bstar
+                * ratio
+                * bstar_factor
+                * float(rng.lognormal(0.0, cfg.bstar_noise_sigma))
+            )
+
+            mean_motion = mean_motion_from_altitude(observed_alt)
+            elapsed_days = (t - start) / 86400.0
+            records.append(
+                MeanElements(
+                    catalog_number=trajectory.catalog_number,
+                    epoch=Epoch.from_unix(t),
+                    inclination_deg=trajectory.shell.inclination_deg
+                    + float(rng.normal(0.0, 0.01)),
+                    raan_deg=(raan0 + self._raan_rate_deg_day(trajectory) * elapsed_days)
+                    % 360.0,
+                    eccentricity=eccentricity,
+                    argp_deg=(argp0 + 0.02 * elapsed_days) % 360.0,
+                    mean_anomaly_deg=(ma0 + 360.0 * mean_motion * elapsed_days) % 360.0,
+                    mean_motion_rev_day=mean_motion,
+                    bstar=bstar,
+                    intl_designator=intl,
+                    element_number=element_number,
+                    rev_number=int(mean_motion * elapsed_days) % 100000,
+                )
+            )
+            element_number += 1
+            t += self._next_gap_hours(rng) * 3600.0
+        return records
+
+    def observe_fleet(
+        self, trajectories: list[TruthTrajectory], *, seed: int = 0
+    ) -> list[MeanElements]:
+        """Generate TLE histories for a whole fleet."""
+        records: list[MeanElements] = []
+        for trajectory in trajectories:
+            records.extend(
+                self.observe(trajectory, seed=seed * 7_919 + trajectory.catalog_number)
+            )
+        return records
+
+    def _next_gap_hours(self, rng: np.random.Generator) -> float:
+        """Refresh gap draw: lognormal with the configured mean, clipped.
+
+        A lognormal reproduces the paper's skew — most refreshes near
+        the mean, occasional multi-day gaps out to 154 hours.
+        """
+        cfg = self.config
+        sigma = 0.8
+        mu = math.log(cfg.mean_refresh_hours) - 0.5 * sigma * sigma
+        gap = float(rng.lognormal(mu, sigma))
+        return min(max(gap, cfg.refresh_bounds_hours[0]), cfg.refresh_bounds_hours[1])
+
+    @staticmethod
+    def _raan_rate_deg_day(trajectory: TruthTrajectory) -> float:
+        """J2 nodal regression rate [deg/day] for the satellite's shell."""
+        from repro.constants import EARTH_RADIUS_KM
+
+        a = EARTH_RADIUS_KM + trajectory.shell.altitude_km
+        incl = math.radians(trajectory.shell.inclination_deg)
+        return -2.06474e14 * a**-3.5 * math.cos(incl)
+
+    @staticmethod
+    def _intl_designator(trajectory: TruthTrajectory) -> str:
+        """Launch-year international designator, e.g. ``19074A``."""
+        year, _, _, _, _, _ = Epoch.from_unix(float(trajectory.times[0])).calendar()
+        return f"{year % 100:02d}074A"

@@ -1,0 +1,117 @@
+"""Scenario calibration validation.
+
+The data substitution is only sound while the generated datasets keep
+the statistical structure the paper measured (DESIGN.md §2).  This
+module checks a generated scenario against those calibration targets
+and reports pass/fail per target — the tests and benchmarks run it so
+calibration drift fails loudly instead of silently skewing results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.simulation.scenario import Scenario
+from repro.spaceweather.scales import StormLevel
+
+
+@dataclass(frozen=True, slots=True)
+class CalibrationCheck:
+    """One calibration target and its measured value."""
+
+    name: str
+    target: str
+    measured: float
+    ok: bool
+
+
+@dataclass(frozen=True, slots=True)
+class CalibrationReport:
+    """All checks for one scenario."""
+
+    scenario_name: str
+    checks: tuple[CalibrationCheck, ...]
+
+    @property
+    def ok(self) -> bool:
+        return all(c.ok for c in self.checks)
+
+    def failures(self) -> list[CalibrationCheck]:
+        return [c for c in self.checks if not c.ok]
+
+
+def validate_paper_scenario(scenario: Scenario) -> CalibrationReport:
+    """Check a paper-window scenario against the paper's §4 statistics.
+
+    Targets (paper values): 99th-ptile intensity ≈ -63 nT, band hours
+    (mild 720, moderate 74, severe 3, extreme 0), TLE refresh mean
+    ≈ 12 h within <1..154 h, staging at ~350 km and operation at the
+    shell altitudes.
+    """
+    dst = scenario.dst
+    checks: list[CalibrationCheck] = []
+
+    p99 = dst.intensity_percentile(99.0)
+    checks.append(
+        CalibrationCheck("99th-ptile intensity", "-85..-50 nT (paper -63)", p99, -85.0 < p99 < -50.0)
+    )
+    p95 = dst.intensity_percentile(95.0)
+    checks.append(
+        CalibrationCheck("95th-ptile intensity", "> -50 nT (weaker than minor)", p95, p95 > -50.0)
+    )
+
+    counts = dst.level_hour_counts()
+    checks.append(
+        CalibrationCheck(
+            "mild hours", "400..1100 (paper 720)", counts[StormLevel.MINOR],
+            400 <= counts[StormLevel.MINOR] <= 1100,
+        )
+    )
+    checks.append(
+        CalibrationCheck(
+            "moderate hours", "40..160 (paper 74)", counts[StormLevel.MODERATE],
+            40 <= counts[StormLevel.MODERATE] <= 160,
+        )
+    )
+    checks.append(
+        CalibrationCheck(
+            "severe hours", "1..6 (paper 3)", counts[StormLevel.SEVERE],
+            1 <= counts[StormLevel.SEVERE] <= 6,
+        )
+    )
+    checks.append(
+        CalibrationCheck(
+            "extreme hours", "0", counts[StormLevel.EXTREME],
+            counts[StormLevel.EXTREME] == 0,
+        )
+    )
+
+    gaps = np.concatenate(
+        [h.refresh_intervals_hours() for h in scenario.catalog if len(h) > 1]
+    )
+    mean_gap = float(np.mean(gaps)) if gaps.size else float("nan")
+    checks.append(
+        CalibrationCheck(
+            "mean TLE refresh", "6..30 h (paper ~12 h)", mean_gap, 6.0 <= mean_gap <= 30.0
+        )
+    )
+    max_gap = float(np.max(gaps)) if gaps.size else float("nan")
+    checks.append(
+        CalibrationCheck(
+            "max TLE refresh", "<= 154 h (paper 154 h)", max_gap, max_gap <= 154.0 + 1e-3
+        )
+    )
+
+    medians = np.array(
+        [h.altitude_series().median() for h in scenario.catalog]
+    )
+    in_shells = float(np.mean((medians > 500.0) & (medians < 600.0)))
+    checks.append(
+        CalibrationCheck(
+            "fraction at operational altitude", ">= 0.7", in_shells, in_shells >= 0.7
+        )
+    )
+
+    return CalibrationReport(scenario_name=scenario.name, checks=tuple(checks))

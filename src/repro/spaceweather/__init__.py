@@ -1,0 +1,38 @@
+"""Space-weather substrate: Dst index handling, storm classification,
+episode detection, and the WDC Kyoto interchange format.
+"""
+
+from repro.spaceweather.dst import DstIndex
+from repro.spaceweather.kp import (
+    ap_from_kp,
+    dst_from_kp,
+    g_scale_from_kp,
+    kp_from_dst,
+    quantize_kp,
+)
+from repro.spaceweather.scales import (
+    GScale,
+    StormLevel,
+    classify_dst,
+    g_scale_for_level,
+)
+from repro.spaceweather.storms import StormEpisode, detect_episodes, duration_stats
+from repro.spaceweather.wdc import format_wdc, parse_wdc
+
+__all__ = [
+    "DstIndex",
+    "GScale",
+    "StormEpisode",
+    "StormLevel",
+    "ap_from_kp",
+    "classify_dst",
+    "detect_episodes",
+    "dst_from_kp",
+    "duration_stats",
+    "format_wdc",
+    "g_scale_for_level",
+    "g_scale_from_kp",
+    "kp_from_dst",
+    "parse_wdc",
+    "quantize_kp",
+]

@@ -1,0 +1,78 @@
+"""Solar cycle modelling (paper §2 background).
+
+Solar activity follows ~11-year Schwabe cycles whose maxima are
+modulated by the ~88-year Gleissberg cycle; the Sun is emerging from a
+three-decade low-activity phase with the cycle-25 maximum expected
+around 2024-2025.  This module provides the smooth activity factor the
+50-year Dst reconstruction uses and simple cycle phase queries.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import SpaceWeatherError
+
+#: Observed/predicted solar maxima (fractional years) covering the
+#: reconstruction window; cycle 25's maximum lands in late 2024.
+SOLAR_MAXIMA_YEARS: tuple[float, ...] = (
+    1968.9, 1979.9, 1989.9, 2001.5, 2014.3, 2024.8,
+)
+
+#: Schwabe cycle period [years].
+SCHWABE_PERIOD_YEARS = 11.0
+#: Gleissberg modulation period [years].
+GLEISSBERG_PERIOD_YEARS = 88.0
+#: Year of a Gleissberg maximum, placed so the late-20th-century grand
+#: maximum peaks around the strong cycles 21-22 and the 2008-2020
+#: dormancy sits in the trough (the paper's "3-decade long lower
+#: activity phase").
+_GLEISSBERG_ANCHOR_YEAR = 1975.0
+
+
+def nearest_maximum(year: float) -> float:
+    """The solar maximum year closest to *year*."""
+    if not 1900.0 <= year <= 2100.0:
+        raise SpaceWeatherError(f"year outside the modelled era: {year}")
+    return min(SOLAR_MAXIMA_YEARS, key=lambda m: abs(m - year))
+
+
+def next_maximum(year: float) -> float:
+    """The first listed solar maximum at/after *year*.
+
+    Beyond the table, maxima continue at the Schwabe period.
+    """
+    if not 1900.0 <= year <= 2100.0:
+        raise SpaceWeatherError(f"year outside the modelled era: {year}")
+    for maximum in SOLAR_MAXIMA_YEARS:
+        if maximum >= year:
+            return maximum
+    last = SOLAR_MAXIMA_YEARS[-1]
+    cycles = math.ceil((year - last) / SCHWABE_PERIOD_YEARS)
+    return last + cycles * SCHWABE_PERIOD_YEARS
+
+
+def schwabe_phase(year: float) -> float:
+    """Phase in [0, 1) of the 11-year cycle (0 = maximum)."""
+    maximum = nearest_maximum(year)
+    return ((year - maximum) / SCHWABE_PERIOD_YEARS) % 1.0
+
+
+def gleissberg_factor(year: float) -> float:
+    """Slow 88-year modulation of cycle amplitudes, in [0.7, 1.3]."""
+    phase = (year - _GLEISSBERG_ANCHOR_YEAR) / GLEISSBERG_PERIOD_YEARS
+    return 1.0 + 0.3 * math.cos(2.0 * math.pi * phase)
+
+
+def activity_factor(year: float) -> float:
+    """Storm-rate multiplier for *year* (≈0.2 at minimum, ≈2 at a
+    strong maximum).
+
+    The Schwabe term follows a raised cosine around the nearest
+    maximum; the Gleissberg term scales the cycle's amplitude.
+    """
+    maximum = nearest_maximum(year)
+    schwabe = 1.0 + 0.75 * math.cos(
+        2.0 * math.pi * (year - maximum) / SCHWABE_PERIOD_YEARS
+    )
+    return max(0.1, schwabe * gleissberg_factor(year) / 1.3)

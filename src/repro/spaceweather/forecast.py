@@ -1,0 +1,100 @@
+"""Short-horizon Dst nowcasting.
+
+CosmicDance's trigger hook fires when a storm is already underway; an
+operator also wants a short-horizon expectation of how it evolves.
+Storm recovery is famously exponential (the Burton-style decay of the
+ring current), which makes a simple physically-motivated forecaster
+competitive over a few hours:
+
+* quiet conditions persist at the quiet baseline,
+* storm-time Dst relaxes exponentially toward the baseline with a
+  fitted (or default ~9 h) recovery constant.
+
+The module also scores forecasts so the recovery model can be compared
+against plain persistence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SpaceWeatherError
+from repro.spaceweather.dst import DstIndex
+from repro.time import Epoch
+
+#: Default ring-current recovery time constant [hours].
+DEFAULT_RECOVERY_TAU_H = 9.0
+#: Quiet-time baseline the recovery relaxes toward [nT].
+DEFAULT_BASELINE_NT = -11.0
+
+
+@dataclass(frozen=True, slots=True)
+class DstForecast:
+    """An hourly Dst forecast from a given origin."""
+
+    origin: Epoch
+    #: Forecast lead hours (1-based: entry 0 is origin + 1 h).
+    values_nt: np.ndarray
+
+    def value_at_lead(self, hours: int) -> float:
+        if not 1 <= hours <= self.values_nt.size:
+            raise SpaceWeatherError(f"lead out of range: {hours}")
+        return float(self.values_nt[hours - 1])
+
+
+def recovery_forecast(
+    dst: DstIndex,
+    origin: Epoch,
+    *,
+    horizon_hours: int = 24,
+    tau_hours: float = DEFAULT_RECOVERY_TAU_H,
+    baseline_nt: float = DEFAULT_BASELINE_NT,
+) -> DstForecast:
+    """Exponential-recovery forecast from the last observation before
+    *origin*."""
+    if horizon_hours < 1:
+        raise SpaceWeatherError("horizon must be at least one hour")
+    if tau_hours <= 0:
+        raise SpaceWeatherError("recovery tau must be positive")
+    last = dst.series.value_at(origin)
+    if not np.isfinite(last):
+        raise SpaceWeatherError("no Dst observation at/before the origin")
+    leads = np.arange(1, horizon_hours + 1, dtype=np.float64)
+    departure = last - baseline_nt
+    values = baseline_nt + departure * np.exp(-leads / tau_hours)
+    return DstForecast(origin=origin, values_nt=values)
+
+
+def persistence_forecast(
+    dst: DstIndex,
+    origin: Epoch,
+    *,
+    horizon_hours: int = 24,
+) -> DstForecast:
+    """Flat persistence of the last observation (the skill baseline)."""
+    if horizon_hours < 1:
+        raise SpaceWeatherError("horizon must be at least one hour")
+    last = dst.series.value_at(origin)
+    if not np.isfinite(last):
+        raise SpaceWeatherError("no Dst observation at/before the origin")
+    return DstForecast(
+        origin=origin, values_nt=np.full(horizon_hours, float(last))
+    )
+
+
+def forecast_mae(
+    forecast: DstForecast,
+    truth: DstIndex,
+) -> float:
+    """Mean absolute error of a forecast against observed hours.
+
+    Hours missing from the truth are skipped; NaN when nothing overlaps.
+    """
+    errors = []
+    for lead in range(1, forecast.values_nt.size + 1):
+        observed = truth.value_at(forecast.origin.add_hours(float(lead)))
+        if np.isfinite(observed):
+            errors.append(abs(observed - forecast.value_at_lead(lead)))
+    return float(np.mean(errors)) if errors else float("nan")

@@ -1,0 +1,89 @@
+"""Kp / ap planetary indices and their relation to Dst.
+
+The NOAA G-scale is natively defined on the 3-hourly **Kp** index
+(G1=Kp5 ... G5=Kp9); the paper works in Dst and quotes the equivalent
+Dst bands.  This module carries the canonical Kp machinery — the
+28-step third-unit scale, the Kp->ap conversion table, and a monotone
+empirical Dst<->Kp mapping anchored on the paper's band edges — so both
+index conventions interoperate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SpaceWeatherError
+from repro.spaceweather.scales import GScale
+
+#: The 28 Kp values: 0o, 0+, 1-, 1o, 1+, ..., 9-, 9o.
+KP_STEPS: tuple[float, ...] = tuple(
+    k + d
+    for k in range(10)
+    for d in (-1 / 3, 0.0, 1 / 3)
+    if 0.0 <= k + d <= 9.0
+)
+
+#: Canonical Kp -> ap equivalence (GFZ), one entry per Kp step.
+_AP_TABLE: tuple[int, ...] = (
+    0, 2, 3, 4, 5, 6, 7, 9, 12, 15, 18, 22, 27, 32, 39, 48, 56, 67,
+    80, 94, 111, 132, 154, 179, 207, 236, 300, 400,
+)
+
+#: Monotone Dst anchors for whole Kp values, following the paper's
+#: G-scale band edges (Kp5 ~ -50 nT, Kp6 ~ -100, Kp7 ~ -200, Kp8 ~ -350).
+_KP_ANCHORS = np.array([0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0])
+_DST_ANCHORS = np.array(
+    [5.0, -5.0, -15.0, -25.0, -35.0, -50.0, -100.0, -200.0, -350.0, -550.0]
+)
+
+
+def quantize_kp(value: float) -> float:
+    """Snap a fractional Kp to the nearest official third-unit step."""
+    if not 0.0 <= value <= 9.0:
+        raise SpaceWeatherError(f"Kp out of range [0, 9]: {value}")
+    idx = int(np.argmin([abs(value - step) for step in KP_STEPS]))
+    return KP_STEPS[idx]
+
+
+def ap_from_kp(kp: float) -> int:
+    """Equivalent 3-hourly ap amplitude for a Kp value."""
+    snapped = quantize_kp(kp)
+    return _AP_TABLE[KP_STEPS.index(snapped)]
+
+
+def kp_from_dst(dst_nt: float) -> float:
+    """Empirical Kp estimate for an hourly Dst sample [nT].
+
+    Monotone interpolation through the paper's band-edge anchors;
+    values above the quietest anchor clamp to Kp 0, storms deeper than
+    -550 nT clamp to Kp 9.
+    """
+    if dst_nt != dst_nt:  # NaN
+        raise SpaceWeatherError("cannot convert NaN Dst")
+    # np.interp needs ascending x; Dst anchors descend, so negate both.
+    kp = float(np.interp(-dst_nt, -_DST_ANCHORS, _KP_ANCHORS))
+    return min(max(kp, 0.0), 9.0)
+
+
+def dst_from_kp(kp: float) -> float:
+    """Inverse of :func:`kp_from_dst` (continuous, unquantized Kp)."""
+    if not 0.0 <= kp <= 9.0:
+        raise SpaceWeatherError(f"Kp out of range [0, 9]: {kp}")
+    return float(np.interp(kp, _KP_ANCHORS, _DST_ANCHORS))
+
+
+def g_scale_from_kp(kp: float) -> GScale | None:
+    """NOAA G-scale category for a Kp value (None below G1)."""
+    if not 0.0 <= kp <= 9.0:
+        raise SpaceWeatherError(f"Kp out of range [0, 9]: {kp}")
+    if kp >= 9.0:
+        return GScale.G5
+    if kp >= 8.0:
+        return GScale.G4
+    if kp >= 7.0:
+        return GScale.G3
+    if kp >= 6.0:
+        return GScale.G2
+    if kp >= 5.0:
+        return GScale.G1
+    return None

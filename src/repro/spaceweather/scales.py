@@ -1,0 +1,90 @@
+"""Geomagnetic storm classification.
+
+Implements the Dst-based intensity bands the paper uses (§2), aligned
+with the NOAA G-scale:
+
+* quiet:            Dst > -50 nT
+* minor (G1):      -100 < Dst <= -50
+* moderate (G2):   -200 < Dst <= -100
+* severe (G4):     -350 < Dst <= -200
+* extreme (G5):            Dst <= -350
+
+The paper's text also names a "strong (G3)" level at ~-200 nT; it sits
+on the moderate/severe boundary and is not a distinct Dst band — the
+paper itself classifies its -208/-209/-213 nT hours as severe, so we
+bin exactly the same way.  ``GScale`` keeps all five NOAA labels for
+reporting.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.errors import SpaceWeatherError
+
+#: Band edges [nT]; a sample at the edge belongs to the stormier side.
+QUIET_EDGE_NT = -50.0
+MINOR_EDGE_NT = -100.0
+MODERATE_EDGE_NT = -200.0
+SEVERE_EDGE_NT = -350.0
+
+
+class StormLevel(enum.IntEnum):
+    """Dst intensity band, ordered from quiet (0) to extreme (4)."""
+
+    QUIET = 0
+    MINOR = 1
+    MODERATE = 2
+    SEVERE = 3
+    EXTREME = 4
+
+    @property
+    def threshold_nt(self) -> float:
+        """Dst value at/below which this level begins (NaN for QUIET)."""
+        return {
+            StormLevel.QUIET: float("nan"),
+            StormLevel.MINOR: QUIET_EDGE_NT,
+            StormLevel.MODERATE: MINOR_EDGE_NT,
+            StormLevel.SEVERE: MODERATE_EDGE_NT,
+            StormLevel.EXTREME: SEVERE_EDGE_NT,
+        }[self]
+
+
+class GScale(enum.Enum):
+    """NOAA G-scale labels for reporting."""
+
+    G1 = "minor"
+    G2 = "moderate"
+    G3 = "strong"
+    G4 = "severe"
+    G5 = "extreme"
+
+
+def classify_dst(dst_nt: float) -> StormLevel:
+    """Storm level for an hourly Dst sample [nT]."""
+    if dst_nt != dst_nt:  # NaN
+        raise SpaceWeatherError("cannot classify NaN Dst sample")
+    if dst_nt > QUIET_EDGE_NT:
+        return StormLevel.QUIET
+    if dst_nt > MINOR_EDGE_NT:
+        return StormLevel.MINOR
+    if dst_nt > MODERATE_EDGE_NT:
+        return StormLevel.MODERATE
+    if dst_nt > SEVERE_EDGE_NT:
+        return StormLevel.SEVERE
+    return StormLevel.EXTREME
+
+
+def g_scale_for_level(level: StormLevel) -> GScale | None:
+    """NOAA G-scale label for a storm level (None for quiet).
+
+    The G3 "strong" label shares the -200 nT boundary with G4; Dst-only
+    data cannot distinguish them, so severe maps to G4.
+    """
+    return {
+        StormLevel.QUIET: None,
+        StormLevel.MINOR: GScale.G1,
+        StormLevel.MODERATE: GScale.G2,
+        StormLevel.SEVERE: GScale.G4,
+        StormLevel.EXTREME: GScale.G5,
+    }[level]

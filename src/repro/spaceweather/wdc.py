@@ -1,0 +1,142 @@
+"""WDC Kyoto hourly-value interchange format for the Dst index.
+
+The World Data Center for Geomagnetism (Kyoto) distributes Dst as
+fixed-width records, one per UT day: a header identifying the index and
+date, 24 four-column hourly values, and the daily mean.  ``9999`` marks
+a missing hour.  This module reads and writes that format so the
+pipeline can ingest real WDC downloads unchanged and the simulator can
+emit files byte-compatible with them.
+
+Record layout (120 columns):
+
+====== ===========================================
+ 1-3   index name, ``DST``
+ 4-5   year modulo 100
+ 6-7   month
+ 8     ``*``
+ 9-10  day of month
+11-12  all-spaces or record flags (``RR`` for real-time)
+13     element, ``X``
+14     version digit (0 quicklook, 1 provisional, 2+ final)
+15-16  century part of the year (``19``/``20``)
+17-20  base value [100 nT units], usually ``0000``
+21-116 24 hourly values, 4 columns each [nT]
+117-120 daily mean [nT]
+====== ===========================================
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import WDCFormatError
+from repro.spaceweather.dst import HOUR_S, DstIndex
+from repro.time import Epoch
+from repro.timeseries import TimeSeries, merge_series
+
+MISSING = 9999
+_RECORD_LENGTH = 120
+
+
+def _format_value(value: float) -> str:
+    if not math.isfinite(value):
+        return f"{MISSING:4d}"
+    rounded = int(round(value))
+    if not -999 <= rounded <= 9998:
+        raise WDCFormatError(f"Dst value out of WDC range: {value}")
+    return f"{rounded:4d}"
+
+
+def format_wdc_day(
+    day_start: Epoch,
+    hourly_values: "np.ndarray | list[float]",
+    *,
+    version: int = 2,
+    realtime: bool = False,
+) -> str:
+    """Render one UT day of hourly Dst values as a WDC record."""
+    values = np.asarray(hourly_values, dtype=np.float64)
+    if values.size != 24:
+        raise WDCFormatError(f"a WDC day needs 24 hourly values, got {values.size}")
+    year, month, day, hour, minute, second = day_start.calendar()
+    if hour or minute or second >= 1.0:
+        raise WDCFormatError("day_start must be 00:00 UT")
+
+    finite = values[np.isfinite(values)]
+    mean_field = _format_value(float(finite.mean())) if finite.size else f"{MISSING:4d}"
+    flags = "RR" if realtime else "  "
+    header = (
+        f"DST{year % 100:02d}{month:02d}*{day:02d}{flags}X{version:1d}{year // 100:02d}0000"
+    )
+    body = "".join(_format_value(float(v)) for v in values)
+    record = header + body + mean_field
+    if len(record) != _RECORD_LENGTH:
+        raise WDCFormatError(f"internal error: record is {len(record)} columns")
+    return record
+
+
+def format_wdc(dst: DstIndex, **kwargs: object) -> str:
+    """Render a whole :class:`DstIndex` as WDC records (one per day).
+
+    The index is padded with missing markers to whole UT days.
+    """
+    if not len(dst):
+        return ""
+    day_s = 24 * HOUR_S
+    t0 = math.floor(dst.series.times[0] / day_s) * day_s
+    t1 = dst.series.times[-1]
+    records = []
+    day_start_unix = t0
+    while day_start_unix <= t1:
+        day = dst.series.slice(day_start_unix, day_start_unix + day_s)
+        hourly = np.full(24, np.nan)
+        for t, v in day:
+            hourly[int((t - day_start_unix) // HOUR_S)] = v
+        records.append(format_wdc_day(Epoch.from_unix(day_start_unix), hourly, **kwargs))
+        day_start_unix += day_s
+    return "\n".join(records) + "\n"
+
+
+def parse_wdc_day(record: str) -> tuple[Epoch, np.ndarray]:
+    """Parse one WDC record into ``(day_start, 24 hourly values)``."""
+    record = record.rstrip("\n")
+    if len(record) < _RECORD_LENGTH:
+        raise WDCFormatError(f"record too short ({len(record)} columns)")
+    if record[0:3] != "DST":
+        raise WDCFormatError(f"not a DST record: {record[:8]!r}")
+    if record[7] != "*":
+        raise WDCFormatError(f"missing '*' separator: {record[:12]!r}")
+    try:
+        year = int(record[14:16]) * 100 + int(record[3:5])
+        month = int(record[5:7])
+        day = int(record[8:10])
+        base = int(record[16:20]) * 100
+    except ValueError as exc:
+        raise WDCFormatError(f"bad WDC header: {record[:20]!r}") from exc
+
+    values = np.empty(24)
+    for hour in range(24):
+        field = record[20 + 4 * hour : 24 + 4 * hour]
+        try:
+            raw = int(field)
+        except ValueError as exc:
+            raise WDCFormatError(f"bad hourly field {field!r} in {record[:12]!r}") from exc
+        values[hour] = np.nan if raw == MISSING else float(raw + base)
+    return Epoch.from_calendar(year, month, day), values
+
+
+def parse_wdc(text: str) -> DstIndex:
+    """Parse a WDC file (many day records) into one :class:`DstIndex`.
+
+    Records may be unordered and may overlap; later records win.
+    """
+    combined = TimeSeries.empty()
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        day_start, values = parse_wdc_day(line)
+        times = day_start.unix + HOUR_S * np.arange(24)
+        combined = merge_series(combined, TimeSeries(times, values))
+    return DstIndex(combined)

@@ -1,0 +1,23 @@
+"""Epoch handling substrate: Julian dates, TLE epochs, GMST."""
+
+from repro.time.epoch import Epoch
+from repro.time.julian import (
+    calendar_to_jd,
+    days_in_year,
+    gmst_rad,
+    is_leap_year,
+    jd_to_calendar,
+    jd_to_unix,
+    unix_to_jd,
+)
+
+__all__ = [
+    "Epoch",
+    "calendar_to_jd",
+    "days_in_year",
+    "gmst_rad",
+    "is_leap_year",
+    "jd_to_calendar",
+    "jd_to_unix",
+    "unix_to_jd",
+]

@@ -1,0 +1,77 @@
+"""Lagged cross-correlation between time series.
+
+Used to measure the *happens closely after* structure quantitatively:
+e.g. fleet drag (B*) lags geomagnetic intensity by the thermosphere's
+heating/cooling time constant, and the lag at peak cross-correlation
+recovers it from data alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import TimeSeriesError
+from repro.timeseries.merge import align_to
+from repro.timeseries.series import TimeSeries
+
+
+@dataclass(frozen=True, slots=True)
+class LagCorrelation:
+    """Cross-correlation of two series over a range of lags."""
+
+    #: Tested lags [s]; positive lag means *b* follows *a*.
+    lags_s: np.ndarray
+    #: Pearson correlation at each lag.
+    correlations: np.ndarray
+
+    @property
+    def best_lag_s(self) -> float:
+        """Lag with the maximum correlation."""
+        idx = int(np.nanargmax(self.correlations))
+        return float(self.lags_s[idx])
+
+    @property
+    def best_correlation(self) -> float:
+        return float(np.nanmax(self.correlations))
+
+
+def _pearson(x: np.ndarray, y: np.ndarray) -> float:
+    mask = np.isfinite(x) & np.isfinite(y)
+    if mask.sum() < 3:
+        return float("nan")
+    xm = x[mask] - x[mask].mean()
+    ym = y[mask] - y[mask].mean()
+    denom = np.sqrt((xm * xm).sum() * (ym * ym).sum())
+    if denom == 0.0:
+        return float("nan")
+    return float((xm * ym).sum() / denom)
+
+
+def lag_correlation(
+    a: TimeSeries,
+    b: TimeSeries,
+    *,
+    max_lag_s: float,
+    step_s: float,
+) -> LagCorrelation:
+    """Correlate *b* against *a* over lags in ``[0, max_lag_s]``.
+
+    Both series are aligned (LOCF) onto *a*'s time base; *b* is then
+    shifted backwards by each candidate lag, so a positive best lag
+    means *b*'s signal follows *a*'s.
+    """
+    if max_lag_s < 0 or step_s <= 0:
+        raise TimeSeriesError("need max_lag_s >= 0 and step_s > 0")
+    if not len(a) or not len(b):
+        raise TimeSeriesError("cannot correlate empty series")
+
+    base = a.times
+    a_values = a.values
+    lags = np.arange(0.0, max_lag_s + step_s / 2.0, step_s)
+    correlations = np.empty(lags.size)
+    for i, lag in enumerate(lags):
+        shifted = align_to(b.shift(-lag), base, max_age_s=4 * step_s)
+        correlations[i] = _pearson(a_values, shifted.values)
+    return LagCorrelation(lags_s=lags, correlations=correlations)

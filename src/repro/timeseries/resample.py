@@ -1,0 +1,94 @@
+"""Resampling and gap handling for ordered series."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import TimeSeriesError
+from repro.timeseries.series import TimeSeries
+
+
+def resample_hourly(series: TimeSeries) -> TimeSeries:
+    """Resample onto an hourly grid (LOCF), the Dst-native cadence."""
+    return resample_regular(series, 3600.0)
+
+
+def resample_regular(series: TimeSeries, step_s: float) -> TimeSeries:
+    """Resample onto a regular grid of *step_s* seconds (LOCF).
+
+    The grid starts at the first sample rounded down to a step boundary
+    and covers the full span of the series.
+    """
+    if step_s <= 0:
+        raise TimeSeriesError(f"step must be positive, got {step_s}")
+    if not len(series):
+        return TimeSeries.empty()
+    t0 = np.floor(series.times[0] / step_s) * step_s
+    t1 = series.times[-1]
+    n = int(np.floor((t1 - t0) / step_s)) + 1
+    grid = t0 + step_s * np.arange(n)
+    idx = np.searchsorted(series.times, grid, side="right") - 1
+    values = np.where(idx >= 0, series.values[np.clip(idx, 0, None)], np.nan)
+    return TimeSeries(grid, values)
+
+
+def resample_mean(series: TimeSeries, step_s: float) -> TimeSeries:
+    """Bucket-mean resampling: mean of samples in each *step_s* bucket.
+
+    Buckets with no samples get NaN.  Timestamps are bucket starts.
+    """
+    if step_s <= 0:
+        raise TimeSeriesError(f"step must be positive, got {step_s}")
+    if not len(series):
+        return TimeSeries.empty()
+    t0 = np.floor(series.times[0] / step_s) * step_s
+    bucket = np.floor((series.times - t0) / step_s).astype(np.int64)
+    n = int(bucket[-1]) + 1
+    sums = np.zeros(n)
+    counts = np.zeros(n)
+    finite = np.isfinite(series.values)
+    np.add.at(sums, bucket[finite], series.values[finite])
+    np.add.at(counts, bucket[finite], 1.0)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        means = sums / counts
+    means[counts == 0] = np.nan
+    grid = t0 + step_s * np.arange(n)
+    return TimeSeries(grid, means)
+
+
+def fill_gaps(series: TimeSeries, *, max_gap_s: float) -> TimeSeries:
+    """Linearly fill NaN runs no longer than *max_gap_s* seconds.
+
+    Longer gaps — e.g. a satellite untracked for days — stay NaN so
+    downstream statistics do not hallucinate trajectory data.
+    """
+    if not len(series):
+        return series
+    values = series.values.copy()
+    nan_mask = ~np.isfinite(values)
+    if not nan_mask.any():
+        return series
+    times = series.times
+    finite_idx = np.flatnonzero(~nan_mask)
+    if finite_idx.size == 0:
+        return series
+    # Identify contiguous NaN runs and fill the short ones.
+    run_start = None
+    for i in range(len(values) + 1):
+        is_nan = i < len(values) and nan_mask[i]
+        if is_nan and run_start is None:
+            run_start = i
+        elif not is_nan and run_start is not None:
+            run_end = i  # exclusive
+            left = run_start - 1
+            right = run_end
+            if left >= 0 and right < len(values):
+                gap = times[right] - times[left]
+                if gap <= max_gap_s:
+                    values[run_start:run_end] = np.interp(
+                        times[run_start:run_end],
+                        [times[left], times[right]],
+                        [values[left], values[right]],
+                    )
+            run_start = None
+    return TimeSeries(times, values)

@@ -1,0 +1,34 @@
+"""Two-Line Element (TLE) substrate.
+
+Implements the NORAD/CSpOC TLE textual format end-to-end: strict and
+lenient parsing with checksum verification, exact-column formatting,
+an element record type with the derived quantities the paper uses
+(altitude from mean motion, B* drag), and a catalog that manages
+per-satellite TLE histories the way CosmicDance's ingest layer does.
+"""
+
+from repro.tle.catalog import SatelliteCatalog
+from repro.tle.elements import MeanElements
+from repro.tle.fields import (
+    checksum,
+    decode_alpha5,
+    encode_alpha5,
+    verify_checksum,
+)
+from repro.tle.format import format_tle
+from repro.tle.omm import format_omm_json, parse_omm_json
+from repro.tle.parse import parse_tle, parse_tle_file
+
+__all__ = [
+    "MeanElements",
+    "SatelliteCatalog",
+    "checksum",
+    "decode_alpha5",
+    "encode_alpha5",
+    "format_omm_json",
+    "format_tle",
+    "parse_omm_json",
+    "parse_tle",
+    "parse_tle_file",
+    "verify_checksum",
+]

@@ -1,0 +1,83 @@
+"""TLE formatting: render :class:`MeanElements` back into the exact
+69-column layout with valid checksums.
+
+The formatter is the parser's exact inverse for every representable
+value, which the property-based tests exercise heavily — it is also how
+the tracking simulator emits its synthetic Space-Track dumps.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TLEFieldError
+from repro.tle.elements import MeanElements
+from repro.tle.fields import append_checksum, encode_alpha5, format_implied_decimal
+
+
+def _format_ndot(value: float) -> str:
+    """First-derivative field: signed fraction, 10 columns, e.g. ``-.00002182``."""
+    if not -1.0 < value < 1.0:
+        raise TLEFieldError(f"ndot/2 out of representable range: {value}")
+    sign = "-" if value < 0 else " "
+    body = f"{abs(value):.8f}"[1:]  # strip the leading 0: ".00002182"
+    return f"{sign}{body}"
+
+
+def _format_angle(value_deg: float) -> str:
+    """8-column angle field in degrees, 4 decimal places."""
+    wrapped = value_deg % 360.0
+    return f"{wrapped:8.4f}"
+
+
+def format_tle(elements: MeanElements) -> tuple[str, str]:
+    """Render a TLE as ``(line1, line2)`` with checksums appended."""
+    year2, doy = elements.epoch.to_tle_epoch()
+    catalog = encode_alpha5(elements.catalog_number)
+
+    line1_body = (
+        "1 "
+        f"{catalog}{elements.classification[:1] or 'U'} "
+        f"{elements.intl_designator:<8.8s} "
+        f"{year2:02d}{doy:012.8f} "
+        f"{_format_ndot(elements.ndot_over_2)} "
+        f"{format_implied_decimal(elements.nddot_over_6)} "
+        f"{format_implied_decimal(elements.bstar)} "
+        f"{elements.ephemeris_type:1d} "
+        f"{elements.element_number % 10000:4d}"
+    )
+    if len(line1_body) != 68:
+        raise TLEFieldError(
+            f"internal error: line 1 body is {len(line1_body)} columns"
+        )
+
+    ecc_field = f"{round(elements.eccentricity * 1e7):07d}"
+    if len(ecc_field) != 7:
+        raise TLEFieldError(f"eccentricity unrepresentable: {elements.eccentricity}")
+    line2_body = (
+        "2 "
+        f"{catalog} "
+        f"{_format_angle(elements.inclination_deg)} "
+        f"{_format_angle(elements.raan_deg)} "
+        f"{ecc_field} "
+        f"{_format_angle(elements.argp_deg)} "
+        f"{_format_angle(elements.mean_anomaly_deg)} "
+        f"{elements.mean_motion_rev_day:11.8f}"
+        f"{elements.rev_number % 100000:5d}"
+    )
+    if len(line2_body) != 68:
+        raise TLEFieldError(
+            f"internal error: line 2 body is {len(line2_body)} columns"
+        )
+
+    return append_checksum(line1_body), append_checksum(line2_body)
+
+
+def format_tle_block(elements_list: list[MeanElements], *, names: dict[int, str] | None = None) -> str:
+    """Render many element sets as a text dump (optionally 3LE with names)."""
+    lines: list[str] = []
+    for elements in elements_list:
+        if names and elements.catalog_number in names:
+            lines.append(names[elements.catalog_number][:24])
+        line1, line2 = format_tle(elements)
+        lines.append(line1)
+        lines.append(line2)
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,95 @@
+"""OMM (Orbit Mean-Elements Message) interchange.
+
+Space-Track serves element sets both as legacy TLEs and as CCSDS OMMs
+(JSON/CSV); modern clients increasingly consume the latter.  This
+module maps OMM JSON records to and from :class:`MeanElements`, using
+the Space-Track field vocabulary (``NORAD_CAT_ID``, ``MEAN_MOTION``,
+``EPOCH``, ``BSTAR``, ...).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable
+
+from repro.errors import TLEFieldError, TLEFormatError
+from repro.time import Epoch
+from repro.tle.elements import MeanElements
+
+#: JSON fields required in every OMM record.
+_REQUIRED_FIELDS = (
+    "NORAD_CAT_ID",
+    "EPOCH",
+    "MEAN_MOTION",
+    "ECCENTRICITY",
+    "INCLINATION",
+    "RA_OF_ASC_NODE",
+    "ARG_OF_PERICENTER",
+    "MEAN_ANOMALY",
+)
+
+
+def omm_dict(elements: MeanElements) -> dict[str, Any]:
+    """One element set as an OMM JSON-style dict."""
+    return {
+        "NORAD_CAT_ID": elements.catalog_number,
+        "OBJECT_ID": elements.intl_designator,
+        "EPOCH": elements.epoch.isoformat(),
+        "MEAN_MOTION": elements.mean_motion_rev_day,
+        "ECCENTRICITY": elements.eccentricity,
+        "INCLINATION": elements.inclination_deg,
+        "RA_OF_ASC_NODE": elements.raan_deg,
+        "ARG_OF_PERICENTER": elements.argp_deg,
+        "MEAN_ANOMALY": elements.mean_anomaly_deg,
+        "EPHEMERIS_TYPE": elements.ephemeris_type,
+        "CLASSIFICATION_TYPE": elements.classification,
+        "ELEMENT_SET_NO": elements.element_number,
+        "REV_AT_EPOCH": elements.rev_number,
+        "BSTAR": elements.bstar,
+        "MEAN_MOTION_DOT": elements.ndot_over_2,
+        "MEAN_MOTION_DDOT": elements.nddot_over_6,
+    }
+
+
+def elements_from_omm(record: dict[str, Any]) -> MeanElements:
+    """Build :class:`MeanElements` from one OMM dict."""
+    missing = [f for f in _REQUIRED_FIELDS if f not in record]
+    if missing:
+        raise TLEFormatError(f"OMM record missing fields: {missing}")
+    try:
+        return MeanElements(
+            catalog_number=int(record["NORAD_CAT_ID"]),
+            intl_designator=str(record.get("OBJECT_ID", "")),
+            epoch=Epoch.from_iso(str(record["EPOCH"])),
+            mean_motion_rev_day=float(record["MEAN_MOTION"]),
+            eccentricity=float(record["ECCENTRICITY"]),
+            inclination_deg=float(record["INCLINATION"]),
+            raan_deg=float(record["RA_OF_ASC_NODE"]),
+            argp_deg=float(record["ARG_OF_PERICENTER"]),
+            mean_anomaly_deg=float(record["MEAN_ANOMALY"]),
+            ephemeris_type=int(record.get("EPHEMERIS_TYPE", 0) or 0),
+            classification=str(record.get("CLASSIFICATION_TYPE", "U") or "U"),
+            element_number=int(record.get("ELEMENT_SET_NO", 0) or 0),
+            rev_number=int(record.get("REV_AT_EPOCH", 0) or 0),
+            bstar=float(record.get("BSTAR", 0.0) or 0.0),
+            ndot_over_2=float(record.get("MEAN_MOTION_DOT", 0.0) or 0.0),
+            nddot_over_6=float(record.get("MEAN_MOTION_DDOT", 0.0) or 0.0),
+        )
+    except (ValueError, TypeError) as exc:
+        raise TLEFieldError(f"bad OMM field value: {exc}") from exc
+
+
+def format_omm_json(elements_list: Iterable[MeanElements]) -> str:
+    """Render element sets as a Space-Track-style OMM JSON array."""
+    return json.dumps([omm_dict(e) for e in elements_list], indent=1)
+
+
+def parse_omm_json(text: str) -> list[MeanElements]:
+    """Parse a Space-Track OMM JSON array (strict: any bad record raises)."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise TLEFormatError(f"invalid OMM JSON: {exc}") from exc
+    if not isinstance(payload, list):
+        raise TLEFormatError("OMM JSON must be an array of records")
+    return [elements_from_omm(record) for record in payload]

@@ -1,0 +1,136 @@
+"""CelesTrak SATCAT (satellite catalog) records.
+
+Beyond TLEs, CelesTrak publishes per-object metadata — name, owner,
+launch and decay dates, operational status — as `satcat.csv`.  The
+original tool uses the catalog to pick the Starlink object set; this
+module parses/writes the same CSV vocabulary and provides the group
+filters the pipeline needs (payloads only, on-orbit only, by name).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.errors import TLEFormatError
+from repro.time import Epoch
+
+#: Operational status codes (CelesTrak vocabulary, abridged).
+OPS_STATUS = {
+    "+": "operational",
+    "-": "nonoperational",
+    "P": "partially operational",
+    "B": "backup/standby",
+    "S": "spare",
+    "X": "extended mission",
+    "D": "decayed",
+    "?": "unknown",
+}
+
+_COLUMNS = (
+    "OBJECT_NAME",
+    "OBJECT_ID",
+    "NORAD_CAT_ID",
+    "OBJECT_TYPE",
+    "OPS_STATUS_CODE",
+    "OWNER",
+    "LAUNCH_DATE",
+    "DECAY_DATE",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class SatcatEntry:
+    """One SATCAT row."""
+
+    name: str
+    intl_designator: str
+    catalog_number: int
+    object_type: str = "PAY"
+    ops_status: str = "+"
+    owner: str = "US"
+    launch_date: Epoch | None = None
+    decay_date: Epoch | None = None
+
+    @property
+    def is_payload(self) -> bool:
+        return self.object_type == "PAY"
+
+    @property
+    def on_orbit(self) -> bool:
+        return self.decay_date is None and self.ops_status != "D"
+
+
+def _parse_date(cell: str) -> Epoch | None:
+    cell = cell.strip()
+    if not cell:
+        return None
+    return Epoch.from_iso(cell)
+
+
+def parse_satcat_csv(text: str) -> list[SatcatEntry]:
+    """Parse a SATCAT CSV (CelesTrak column vocabulary)."""
+    reader = csv.DictReader(io.StringIO(text))
+    if reader.fieldnames is None or "NORAD_CAT_ID" not in reader.fieldnames:
+        raise TLEFormatError("not a SATCAT CSV (missing NORAD_CAT_ID column)")
+    entries: list[SatcatEntry] = []
+    for row_number, row in enumerate(reader, start=2):
+        try:
+            entries.append(
+                SatcatEntry(
+                    name=(row.get("OBJECT_NAME") or "").strip(),
+                    intl_designator=(row.get("OBJECT_ID") or "").strip(),
+                    catalog_number=int(row["NORAD_CAT_ID"]),
+                    object_type=(row.get("OBJECT_TYPE") or "PAY").strip(),
+                    ops_status=(row.get("OPS_STATUS_CODE") or "?").strip() or "?",
+                    owner=(row.get("OWNER") or "").strip(),
+                    launch_date=_parse_date(row.get("LAUNCH_DATE") or ""),
+                    decay_date=_parse_date(row.get("DECAY_DATE") or ""),
+                )
+            )
+        except (ValueError, KeyError) as exc:
+            raise TLEFormatError(f"bad SATCAT row {row_number}: {exc}") from exc
+    return entries
+
+
+def format_satcat_csv(entries: Iterable[SatcatEntry]) -> str:
+    """Render entries back to the SATCAT CSV layout."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(_COLUMNS)
+    for entry in entries:
+        writer.writerow(
+            (
+                entry.name,
+                entry.intl_designator,
+                entry.catalog_number,
+                entry.object_type,
+                entry.ops_status,
+                entry.owner,
+                entry.launch_date.isoformat()[:10] if entry.launch_date else "",
+                entry.decay_date.isoformat()[:10] if entry.decay_date else "",
+            )
+        )
+    return buffer.getvalue()
+
+
+def filter_group(
+    entries: Iterable[SatcatEntry],
+    *,
+    name_prefix: str | None = None,
+    payloads_only: bool = True,
+    on_orbit_only: bool = True,
+) -> list[SatcatEntry]:
+    """The CelesTrak-group-style filter (e.g. prefix ``STARLINK``)."""
+    selected = []
+    for entry in entries:
+        if payloads_only and not entry.is_payload:
+            continue
+        if on_orbit_only and not entry.on_orbit:
+            continue
+        if name_prefix and not entry.name.upper().startswith(name_prefix.upper()):
+            continue
+        selected.append(entry)
+    return selected

@@ -1,0 +1,103 @@
+"""Unit tests for the thermosphere density model."""
+
+import numpy as np
+import pytest
+
+from repro.atmosphere import ThermosphereModel, density_quiet_kg_m3, storm_enhancement_factor
+from repro.constants import RHO_550KM_QUIET_KG_M3
+from repro.errors import SimulationError
+from repro.spaceweather import DstIndex
+from repro.time import Epoch
+
+
+class TestQuietDensity:
+    def test_reference_altitude(self):
+        assert density_quiet_kg_m3(550.0) == RHO_550KM_QUIET_KG_M3
+
+    def test_exponential_falloff(self):
+        # One scale height (65 km) lower = e times denser.
+        ratio = density_quiet_kg_m3(485.0) / density_quiet_kg_m3(550.0)
+        assert ratio == pytest.approx(np.e, rel=1e-6)
+
+    def test_staging_orbit_much_denser(self):
+        # The paper: staging orbit drag is far higher than at 550 km.
+        assert density_quiet_kg_m3(350.0) / density_quiet_kg_m3(550.0) > 15.0
+
+    def test_below_model_floor_rejected(self):
+        with pytest.raises(SimulationError):
+            density_quiet_kg_m3(50.0)
+
+
+class TestEnhancementFactor:
+    def test_quiet_is_unity(self):
+        assert storm_enhancement_factor(0.0) == 1.0
+        assert storm_enhancement_factor(-20.0) == 1.0
+
+    def test_nan_is_unity(self):
+        assert storm_enhancement_factor(float("nan")) == 1.0
+
+    def test_monotone_with_intensity(self):
+        assert (
+            storm_enhancement_factor(-400.0)
+            > storm_enhancement_factor(-112.0)
+            > storm_enhancement_factor(-63.0)
+            > 1.0
+        )
+
+    def test_may_2024_calibration(self):
+        # ~5x drag at the -412 nT super-storm (Starlink's FCC response).
+        assert storm_enhancement_factor(-412.0) == pytest.approx(5.1, abs=0.3)
+
+    def test_paper_99th_ptile_level(self):
+        assert storm_enhancement_factor(-63.0) == pytest.approx(1.45, abs=0.15)
+
+
+class TestThermosphereModel:
+    def _storm_dst(self):
+        values = [-10.0] * 24 + [-200.0] * 6 + [-10.0] * 48
+        return DstIndex.from_hourly(Epoch.from_calendar(2023, 1, 1), values)
+
+    def test_enhancement_follows_storm(self):
+        model = ThermosphereModel(self._storm_dst())
+        quiet_t = Epoch.from_calendar(2023, 1, 1, 5).unix
+        storm_t = Epoch.from_calendar(2023, 1, 2, 5).unix
+        assert model.enhancement_at(storm_t) > model.enhancement_at(quiet_t)
+
+    def test_cooling_lag(self):
+        # Hours after the storm ends the enhancement is still elevated.
+        model = ThermosphereModel(self._storm_dst())
+        after_t = Epoch.from_calendar(2023, 1, 2, 12).unix  # 6 h post-storm
+        assert model.enhancement_at(after_t) > 1.3
+
+    def test_longer_storm_drives_higher_enhancement(self):
+        short = [-10.0] * 24 + [-150.0] * 2 + [-10.0] * 72
+        long = [-10.0] * 24 + [-150.0] * 12 + [-10.0] * 62
+        m_short = ThermosphereModel(
+            DstIndex.from_hourly(Epoch.from_calendar(2023, 1, 1), short)
+        )
+        m_long = ThermosphereModel(
+            DstIndex.from_hourly(Epoch.from_calendar(2023, 1, 1), long)
+        )
+        peak_short = float(np.nanmax(m_short.enhancement_series.values))
+        peak_long = float(np.nanmax(m_long.enhancement_series.values))
+        assert peak_long > peak_short
+
+    def test_outside_data_is_quiet(self):
+        model = ThermosphereModel(self._storm_dst())
+        assert model.enhancement_at(0.0) == 1.0
+
+    def test_density_combines_profile_and_enhancement(self):
+        model = ThermosphereModel(self._storm_dst())
+        storm_t = Epoch.from_calendar(2023, 1, 2, 4).unix
+        assert model.density_at(550.0, storm_t) > density_quiet_kg_m3(550.0)
+        assert model.density_at(350.0, storm_t) > model.density_at(550.0, storm_t)
+
+    def test_rejects_bad_lag(self):
+        with pytest.raises(SimulationError):
+            ThermosphereModel(self._storm_dst(), lag_hours=0.0)
+
+    def test_empty_dst(self):
+        model = ThermosphereModel(
+            DstIndex.from_hourly(Epoch.from_calendar(2023, 1, 1), [])
+        )
+        assert model.enhancement_at(1000.0) == 1.0

@@ -1,0 +1,90 @@
+"""Unit tests for drag physics."""
+
+import pytest
+
+from repro.atmosphere import (
+    BallisticCoefficient,
+    STARLINK_BALLISTIC,
+    bstar_for_density_ratio,
+    decay_rate_km_per_day,
+    drag_acceleration_m_s2,
+)
+from repro.atmosphere.density import density_quiet_kg_m3
+from repro.atmosphere.drag import BSTAR_QUIET_550
+from repro.errors import SimulationError
+
+
+class TestBallisticCoefficient:
+    def test_starlink_b(self):
+        # Cd*A/m = 2.2 * 20 / 260 ~ 0.169 m^2/kg.
+        assert STARLINK_BALLISTIC.b_m2_kg == pytest.approx(0.169, abs=0.01)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(SimulationError):
+            BallisticCoefficient(0.0, 1.0)
+        with pytest.raises(SimulationError):
+            BallisticCoefficient(100.0, -1.0)
+
+    def test_reduced_cross_section(self):
+        reduced = STARLINK_BALLISTIC.with_reduced_cross_section(0.5)
+        assert reduced.b_m2_kg == pytest.approx(STARLINK_BALLISTIC.b_m2_kg / 2)
+
+    def test_reduced_cross_section_rejects_bad_factor(self):
+        with pytest.raises(SimulationError):
+            STARLINK_BALLISTIC.with_reduced_cross_section(0.0)
+        with pytest.raises(SimulationError):
+            STARLINK_BALLISTIC.with_reduced_cross_section(1.5)
+
+
+class TestDragAcceleration:
+    def test_formula(self):
+        # 0.5 * rho * v^2 * B.
+        a = drag_acceleration_m_s2(1e-13, 7.6)
+        expected = 0.5 * 1e-13 * 7600.0**2 * STARLINK_BALLISTIC.b_m2_kg
+        assert a == pytest.approx(expected)
+
+    def test_rejects_negative_density(self):
+        with pytest.raises(SimulationError):
+            drag_acceleration_m_s2(-1.0, 7.6)
+
+
+class TestDecayRate:
+    def test_negative_rate(self):
+        rate = decay_rate_km_per_day(550.0, density_quiet_kg_m3(550.0))
+        assert rate < 0
+
+    def test_quiet_550km_magnitude(self):
+        # Quiet solar-max decay at 550 km: order 100s of m/day for a
+        # non-station-kept Starlink-class satellite.
+        rate = decay_rate_km_per_day(550.0, density_quiet_kg_m3(550.0))
+        assert 0.05 < -rate < 0.5
+
+    def test_decay_accelerates_at_lower_altitude(self):
+        r550 = decay_rate_km_per_day(550.0, density_quiet_kg_m3(550.0))
+        r350 = decay_rate_km_per_day(350.0, density_quiet_kg_m3(350.0))
+        assert -r350 > 10 * -r550
+
+    def test_scales_with_density(self):
+        rho = density_quiet_kg_m3(550.0)
+        r1 = decay_rate_km_per_day(550.0, rho)
+        r5 = decay_rate_km_per_day(550.0, 5 * rho)
+        assert r5 == pytest.approx(5 * r1)
+
+    def test_rejects_negative_density(self):
+        with pytest.raises(SimulationError):
+            decay_rate_km_per_day(550.0, -1.0)
+
+
+class TestBstarBehaviour:
+    def test_quiet_ratio(self):
+        assert bstar_for_density_ratio(1.0) == BSTAR_QUIET_550
+
+    def test_proportional(self):
+        assert bstar_for_density_ratio(5.0) == pytest.approx(5 * BSTAR_QUIET_550)
+
+    def test_custom_quiet_value(self):
+        assert bstar_for_density_ratio(2.0, quiet_bstar=1e-3) == pytest.approx(2e-3)
+
+    def test_rejects_negative_ratio(self):
+        with pytest.raises(SimulationError):
+            bstar_for_density_ratio(-0.1)

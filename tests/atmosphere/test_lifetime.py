@@ -1,0 +1,79 @@
+"""Unit tests for orbital lifetime estimation."""
+
+import pytest
+
+from repro.atmosphere import ThermosphereModel
+from repro.atmosphere.drag import STARLINK_BALLISTIC
+from repro.atmosphere.lifetime import lifetime_table, orbital_lifetime
+from repro.errors import SimulationError
+from repro.spaceweather import DstIndex
+from repro.time import Epoch
+
+
+class TestOrbitalLifetime:
+    def test_staging_orbit_decays_in_weeks_to_months(self):
+        # The Feb 2022 narrative: uncontrolled at ~350 km is short-lived.
+        estimate = orbital_lifetime(350.0)
+        assert not estimate.truncated
+        assert 10.0 < estimate.days < 400.0
+
+    def test_operational_orbit_much_longer_lived(self):
+        # Under the solar-max density profile, uncontrolled decay from
+        # 550 km takes the better part of a year — an order of
+        # magnitude beyond the staging orbit.
+        operational = orbital_lifetime(550.0, max_days=30 * 365.25)
+        staging = orbital_lifetime(350.0)
+        assert not operational.truncated
+        assert operational.days > 250.0
+        assert operational.days > 10 * staging.days
+
+    def test_lifetime_monotone_in_altitude(self):
+        estimates = lifetime_table([350.0, 450.0, 550.0], max_days=30 * 365.25)
+        days = [e.days for e in estimates]
+        assert days == sorted(days)
+
+    def test_storm_density_shortens_lifetime(self):
+        quiet = orbital_lifetime(450.0, max_days=30 * 365.25)
+        stormy = orbital_lifetime(
+            450.0, density_multiplier=5.0, max_days=30 * 365.25
+        )
+        assert stormy.days < quiet.days / 3.0
+
+    def test_tumbling_shortens_lifetime(self):
+        clean = orbital_lifetime(400.0)
+        tumbling = orbital_lifetime(
+            400.0,
+            ballistic=STARLINK_BALLISTIC.with_reduced_cross_section(1.0),
+        )
+        assert clean.days == tumbling.days  # factor 1.0 is identity
+        bigger = STARLINK_BALLISTIC
+        from repro.atmosphere.drag import BallisticCoefficient
+
+        tumbler = BallisticCoefficient(
+            bigger.mass_kg, bigger.area_m2 * 4.0, bigger.drag_coefficient
+        )
+        assert orbital_lifetime(400.0, ballistic=tumbler).days < clean.days / 2.0
+
+    def test_horizon_truncation(self):
+        estimate = orbital_lifetime(550.0, max_days=30.0)
+        assert estimate.truncated
+        assert estimate.days == float("inf")
+
+    def test_thermosphere_driven(self):
+        start = Epoch.from_calendar(2024, 5, 1)
+        values = [-10.0] * 200 + [-400.0] * 24 + [-10.0] * (24 * 40)
+        dst = DstIndex.from_hourly(start, values)
+        model = ThermosphereModel(dst)
+        with_storm = orbital_lifetime(
+            330.0, thermosphere=model, start_unix=start.unix, max_days=400.0
+        )
+        without = orbital_lifetime(330.0, max_days=400.0)
+        assert with_storm.days <= without.days
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(SimulationError):
+            orbital_lifetime(190.0)  # below re-entry altitude
+        with pytest.raises(SimulationError):
+            orbital_lifetime(400.0, step_days=0.0)
+        with pytest.raises(SimulationError):
+            orbital_lifetime(400.0, density_multiplier=0.0)

@@ -1,0 +1,60 @@
+"""Shared builders for core-pipeline tests.
+
+Build synthetic satellite histories directly (no full simulation) so
+each cleaning/decay/relation behaviour can be tested in isolation.
+"""
+
+from __future__ import annotations
+
+from repro.orbits.conversions import mean_motion_from_altitude
+from repro.time import Epoch
+from repro.tle.catalog import SatelliteHistory
+from repro.tle.elements import MeanElements
+
+START = Epoch.from_calendar(2023, 1, 1)
+
+
+def record(
+    catalog: int,
+    day: float,
+    altitude_km: float,
+    *,
+    bstar: float = 1e-4,
+) -> MeanElements:
+    """One element set at *day* days after the reference start."""
+    return MeanElements(
+        catalog_number=catalog,
+        epoch=START.add_days(day),
+        inclination_deg=53.0,
+        raan_deg=0.0,
+        eccentricity=0.0001,
+        argp_deg=0.0,
+        mean_anomaly_deg=0.0,
+        mean_motion_rev_day=mean_motion_from_altitude(altitude_km),
+        bstar=bstar,
+    )
+
+
+def history_from_profile(
+    catalog: int,
+    profile: list[tuple[float, float]],
+    *,
+    bstars: list[float] | None = None,
+) -> SatelliteHistory:
+    """A history from ``(day, altitude_km)`` pairs."""
+    history = SatelliteHistory(catalog)
+    for i, (day, altitude) in enumerate(profile):
+        bstar = bstars[i] if bstars else 1e-4
+        history.add(record(catalog, day, altitude, bstar=bstar))
+    return history
+
+
+def steady_history(
+    catalog: int = 1,
+    altitude_km: float = 550.0,
+    days: int = 100,
+    step_days: float = 1.0,
+) -> SatelliteHistory:
+    """A station-kept history at a constant altitude."""
+    profile = [(i * step_days, altitude_km) for i in range(days)]
+    return history_from_profile(catalog, profile)

@@ -1,0 +1,213 @@
+"""Unit tests for conditioned fleet analyses."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    altitude_change_samples,
+    clean_history,
+    drag_change_samples,
+    fleet_drag_daily,
+    quiet_epochs,
+)
+from repro.spaceweather import DstIndex
+from repro.time import Epoch
+
+from tests.core.helpers import START, history_from_profile, steady_history
+
+
+def dipping_history(catalog=1, onset=62, depth=10.0, days=120):
+    profile = []
+    for d in range(days):
+        if onset <= d < onset + 10:
+            profile.append((float(d), 550.0 - depth))
+        else:
+            profile.append((float(d), 550.0))
+    return clean_history(history_from_profile(catalog, profile))
+
+
+class TestAltitudeChangeSamples:
+    def test_detects_dip_magnitude(self):
+        cleaned = {1: dipping_history(depth=10.0)}
+        samples = altitude_change_samples(cleaned, [START.add_days(60)])
+        assert len(samples) == 1
+        assert samples[0].max_change_km == pytest.approx(10.0, abs=0.5)
+
+    def test_steady_satellite_near_zero(self):
+        cleaned = {1: clean_history(steady_history(days=120))}
+        samples = altitude_change_samples(cleaned, [START.add_days(60)])
+        assert samples[0].max_change_km == pytest.approx(0.0, abs=0.5)
+
+    def test_multiple_events_multiple_samples(self):
+        cleaned = {1: clean_history(steady_history(days=160))}
+        events = [START.add_days(30), START.add_days(80)]
+        samples = altitude_change_samples(cleaned, events)
+        assert len(samples) == 2
+
+    def test_already_decaying_excluded(self):
+        profile = [(float(d), 550.0) for d in range(40)]
+        profile += [(40.0 + d, 550.0 - 1.5 * d) for d in range(60)]
+        cleaned = {1: clean_history(history_from_profile(1, profile))}
+        samples = altitude_change_samples(cleaned, [START.add_days(70)])
+        assert samples == []
+
+    def test_insufficient_coverage_excluded(self):
+        cleaned = {1: clean_history(steady_history(days=30))}
+        samples = altitude_change_samples(cleaned, [START.add_days(29)])
+        assert samples == []
+
+    def test_change_clamped_non_negative(self):
+        # A satellite boosted above its pre-event altitude reports 0.
+        profile = [(float(d), 550.0) for d in range(60)]
+        profile += [(60.0 + d, 551.5) for d in range(40)]
+        cleaned = {1: clean_history(history_from_profile(1, profile))}
+        samples = altitude_change_samples(cleaned, [START.add_days(59)])
+        assert samples[0].max_change_km == 0.0
+
+
+class TestDragChangeSamples:
+    def _history_with_drag_rise(self):
+        profile = [(float(d), 550.0) for d in range(100)]
+        bstars = [1e-4] * 100
+        for d in range(60, 64):
+            bstars[d] = 5e-4
+        return clean_history(history_from_profile(1, profile, bstars=bstars))
+
+    def test_delta_and_ratio(self):
+        cleaned = {1: self._history_with_drag_rise()}
+        samples = drag_change_samples(cleaned, [START.add_days(60)])
+        assert len(samples) == 1
+        assert samples[0].delta_bstar == pytest.approx(4e-4, rel=0.05)
+        assert samples[0].ratio == pytest.approx(5.0, rel=0.05)
+
+    def test_flat_bstar_ratio_one(self):
+        cleaned = {1: clean_history(steady_history(days=100))}
+        samples = drag_change_samples(cleaned, [START.add_days(60)])
+        assert samples[0].ratio == pytest.approx(1.0)
+
+    def test_needs_baseline_records(self):
+        cleaned = {1: self._history_with_drag_rise()}
+        samples = drag_change_samples(cleaned, [START.add_days(0.5)])
+        assert samples == []
+
+    def test_zero_baseline_gives_nan_ratio(self):
+        from repro.core.analysis import DragChangeSample
+
+        sample = DragChangeSample(1, START, baseline_bstar=0.0, peak_bstar=1e-4)
+        assert np.isnan(sample.ratio)
+
+
+class TestQuietEpochs:
+    def _dst_with_one_storm(self):
+        # Varying quiet baseline: a constant one makes every percentile
+        # threshold tie with every sample.
+        hours = np.arange(24 * 60)
+        values = -10.0 + 3.0 * np.sin(0.7 * hours)
+        values[24 * 30 : 24 * 30 + 8] = -150.0
+        return DstIndex.from_hourly(START, values)
+
+    def test_quiet_epochs_avoid_storm(self):
+        dst = self._dst_with_one_storm()
+        epochs = quiet_epochs(dst, count=5, seed=1)
+        assert epochs
+        storm_start = START.add_days(30).unix
+        for epoch in epochs:
+            # The 15-day quiet window must not contain the storm.
+            assert not (
+                epoch.unix - 2 * 86400.0 <= storm_start < epoch.unix + 15 * 86400.0
+            )
+
+    def test_count_respected(self):
+        epochs = quiet_epochs(self._dst_with_one_storm(), count=3, seed=1)
+        assert len(epochs) <= 3
+
+    def test_deterministic(self):
+        dst = self._dst_with_one_storm()
+        a = quiet_epochs(dst, count=5, seed=9)
+        b = quiet_epochs(dst, count=5, seed=9)
+        assert [e.unix for e in a] == [e.unix for e in b]
+
+    def test_short_series_returns_empty(self):
+        dst = DstIndex.from_hourly(START, [-10.0] * 10)
+        assert quiet_epochs(dst) == []
+
+
+class TestFleetDragDaily:
+    def test_rows_cover_window(self):
+        cleaned = {1: clean_history(steady_history(days=30))}
+        dst = DstIndex.from_hourly(START, [-10.0] * 24 * 30)
+        rows = fleet_drag_daily(cleaned, dst, START, START.add_days(10))
+        assert len(rows) == 10
+
+    def test_tracked_count(self):
+        cleaned = {
+            1: clean_history(steady_history(catalog=1, days=30)),
+            2: clean_history(steady_history(catalog=2, days=30)),
+        }
+        dst = DstIndex.from_hourly(START, [-10.0] * 24 * 30)
+        rows = fleet_drag_daily(cleaned, dst, START, START.add_days(5))
+        assert all(r.tracked_satellites == 2 for r in rows)
+
+    def test_bstar_statistics(self):
+        cleaned = {1: clean_history(steady_history(days=30))}
+        dst = DstIndex.from_hourly(START, [-10.0] * 24 * 30)
+        rows = fleet_drag_daily(cleaned, dst, START, START.add_days(5))
+        assert rows[0].median_bstar == pytest.approx(1e-4)
+
+    def test_min_dst_per_day(self):
+        cleaned = {1: clean_history(steady_history(days=30))}
+        values = [-10.0] * 24 * 30
+        values[26] = -180.0  # hour 2 of day 1
+        dst = DstIndex.from_hourly(START, values)
+        rows = fleet_drag_daily(cleaned, dst, START, START.add_days(3))
+        assert rows[1].min_dst_nt == -180.0
+
+    def test_untracked_day_nan_bstar(self):
+        cleaned = {1: clean_history(steady_history(days=5))}
+        dst = DstIndex.from_hourly(START, [-10.0] * 24 * 30)
+        rows = fleet_drag_daily(cleaned, dst, START.add_days(10), START.add_days(12))
+        assert rows[0].tracked_satellites == 0
+        assert np.isnan(rows[0].median_bstar)
+
+
+class TestElementResponseSamples:
+    def _histories(self):
+        from repro.core import clean_history
+
+        # One satellite whose altitude dips after day 60, flat otherwise.
+        profile = [(float(d), 550.0 if not 60 <= d < 70 else 542.0) for d in range(120)]
+        return {1: clean_history(history_from_profile(1, profile))}
+
+    def test_altitude_shift_detected(self):
+        from repro.core.analysis import element_response_samples
+
+        cleaned = self._histories()
+        storm = element_response_samples(cleaned, [START.add_days(60)], "altitude",
+                                         window_days=8.0)
+        quiet = element_response_samples(cleaned, [START.add_days(20)], "altitude",
+                                         window_days=8.0)
+        assert storm.size == 1 and quiet.size == 1
+        assert storm[0] > 5.0
+        assert quiet[0] < 1.0
+
+    def test_inclination_flat(self):
+        from repro.core.analysis import element_response_samples
+
+        cleaned = self._histories()
+        shifts = element_response_samples(cleaned, [START.add_days(60)], "inclination")
+        assert shifts[0] == pytest.approx(0.0, abs=1e-9)
+
+    def test_unknown_element_rejected(self):
+        from repro.core.analysis import element_response_samples
+        from repro.errors import PipelineError
+
+        with pytest.raises(PipelineError):
+            element_response_samples(self._histories(), [START], "raan_rate")
+
+    def test_insufficient_windows_skipped(self):
+        from repro.core.analysis import element_response_samples
+
+        cleaned = self._histories()
+        # Event right at the start: no baseline records.
+        shifts = element_response_samples(cleaned, [START.add_days(0.1)], "altitude")
+        assert shifts.size == 0

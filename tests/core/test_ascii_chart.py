@@ -1,0 +1,80 @@
+"""Unit tests for ASCII chart rendering."""
+
+import numpy as np
+import pytest
+
+from repro.core.ascii_chart import render_cdf_chart, render_line_chart
+from repro.errors import ReproError
+from repro.timeseries import empirical_cdf
+
+
+class TestLineChart:
+    def test_contains_title_and_markers(self):
+        xs = np.arange(50.0)
+        ys = np.sin(xs / 5.0)
+        chart = render_line_chart(xs, ys, title="sine wave")
+        assert chart.startswith("sine wave")
+        assert "*" in chart
+
+    def test_dimensions(self):
+        chart = render_line_chart(
+            np.arange(10.0), np.arange(10.0), width=40, height=8
+        )
+        data_rows = [l for l in chart.splitlines() if "|" in l]
+        assert len(data_rows) == 8
+        assert all(len(l.split("|", 1)[1]) <= 40 for l in data_rows)
+
+    def test_extremes_plotted_at_corners(self):
+        chart = render_line_chart(
+            [0.0, 1.0], [0.0, 1.0], width=20, height=5
+        )
+        rows = [l.split("|", 1)[1] for l in chart.splitlines() if "|" in l]
+        assert rows[0].rstrip().endswith("*")  # max y at top right
+        assert rows[-1].startswith("*")  # min y at bottom left
+
+    def test_axis_labels(self):
+        chart = render_line_chart(
+            [0.0, 30.0], [5.0, 10.0], y_label="km"
+        )
+        assert "10.00" in chart
+        assert "5.00" in chart
+        assert "(y: km)" in chart
+
+    def test_nan_points_skipped(self):
+        chart = render_line_chart([0.0, 1.0, 2.0], [0.0, float("nan"), 2.0])
+        assert "*" in chart
+
+    def test_empty_input(self):
+        assert "(no data)" in render_line_chart([], [], title="t")
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ReproError):
+            render_line_chart([0.0], [0.0, 1.0])
+
+    def test_rejects_tiny_grid(self):
+        with pytest.raises(ReproError):
+            render_line_chart([0.0], [0.0], width=5, height=2)
+
+    def test_flat_series_renders(self):
+        chart = render_line_chart([0.0, 1.0, 2.0], [5.0, 5.0, 5.0])
+        assert "*" in chart
+
+
+class TestCdfChart:
+    def test_staircase(self):
+        cdf = empirical_cdf(np.arange(100.0))
+        chart = render_cdf_chart(cdf, title="cdf")
+        assert "#" in chart
+        assert "P(X <= x)" in chart
+
+    def test_log_axis(self):
+        cdf = empirical_cdf(np.concatenate([np.ones(99), [1000.0]]))
+        chart = render_cdf_chart(cdf, log_x=True)
+        assert "log10" in chart
+
+    def test_log_axis_no_positive_values(self):
+        cdf = empirical_cdf(np.array([-1.0, 0.0]))
+        assert "no positive data" in render_cdf_chart(cdf, log_x=True)
+
+    def test_empty_cdf(self):
+        assert "(no data)" in render_cdf_chart(empirical_cdf([]), title="x")

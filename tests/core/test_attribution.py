@@ -1,0 +1,71 @@
+"""Unit tests for per-storm impact attribution."""
+
+import numpy as np
+import pytest
+
+from repro import CosmicDance
+from repro.core.attribution import storm_impact_ledger
+from repro.spaceweather import DstIndex
+
+from tests.core.helpers import START, history_from_profile, steady_history
+
+
+@pytest.fixture(scope="module")
+def run():
+    """Two storms: day 60 hits the fleet, day 120 passes quietly."""
+    hours = np.arange(24 * 180)
+    values = -10.0 + 3.0 * np.sin(0.7 * hours)
+    values[60 * 24 : 60 * 24 + 4] = (-80.0, -160.0, -130.0, -90.0)
+    values[120 * 24 : 120 * 24 + 3] = (-75.0, -140.0, -95.0)
+    cd = CosmicDance()
+    cd.ingest.add_dst(DstIndex.from_hourly(START, values))
+    # Three steady satellites plus one that dips hard after storm 1.
+    for cat in (1, 2, 3):
+        cd.ingest.add_elements(list(steady_history(catalog=cat, days=180)))
+    profile = [(float(d), 550.0) for d in range(61)]
+    profile += [(61.0 + d, 550.0 - 1.2 * (d + 5)) for d in range(15)]
+    profile += [(76.0 + d, 550.0 - 1.2 * 20 + 0.8 * d) for d in range(30)]
+    profile += [(106.0 + d, 550.0) for d in range(74)]
+    cd.ingest.add_elements(list(history_from_profile(9, profile)))
+    result = cd.run()
+    return cd, result
+
+
+class TestStormImpactLedger:
+    def test_one_row_per_episode(self, run):
+        cd, result = run
+        ledger = storm_impact_ledger(
+            result.cleaned, result.storm_episodes, result.associations
+        )
+        assert len(ledger) == len(result.storm_episodes)
+
+    def test_impactful_storm_ranks_first(self, run):
+        cd, result = run
+        ledger = storm_impact_ledger(
+            result.cleaned, result.storm_episodes, result.associations
+        )
+        first = ledger[0]
+        assert first.episode.start.days_since(START) == pytest.approx(60.0, abs=0.5)
+        assert first.satellites_with_events >= 1
+        assert first.max_altitude_change_km > 10.0
+
+    def test_quiet_storm_low_impact(self, run):
+        cd, result = run
+        ledger = storm_impact_ledger(
+            result.cleaned, result.storm_episodes, result.associations
+        )
+        last = ledger[-1]
+        assert last.impact_score <= ledger[0].impact_score
+        assert last.satellites_with_events == 0
+
+    def test_sampled_counts(self, run):
+        cd, result = run
+        ledger = storm_impact_ledger(
+            result.cleaned, result.storm_episodes, result.associations
+        )
+        for impact in ledger:
+            assert impact.satellites_sampled <= 4
+            assert impact.drag_spikes + impact.decay_onsets >= 0
+
+    def test_empty_everything(self):
+        assert storm_impact_ledger({}, [], []) == []

@@ -1,0 +1,119 @@
+"""Unit tests for the TLE cleaning stage."""
+
+import pytest
+
+from repro.core import CosmicDanceConfig, clean_catalog, clean_history
+from repro.tle import SatelliteCatalog
+
+from tests.core.helpers import history_from_profile, record, steady_history
+
+
+class TestGrossErrorFilter:
+    def test_high_altitude_outliers_removed(self):
+        history = steady_history(days=20)
+        history.add(record(1, 20.5, 25000.0))  # tracking error
+        cleaned = clean_history(history)
+        assert cleaned.report.gross_errors == 1
+        assert all(e.altitude_km < 650.0 for e in cleaned.elements)
+
+    def test_low_altitude_outliers_removed(self):
+        history = steady_history(days=20)
+        history.add(record(1, 20.5, 100.0))
+        cleaned = clean_history(history)
+        assert cleaned.report.gross_errors == 1
+
+    def test_cut_is_configurable(self):
+        history = steady_history(days=20, altitude_km=700.0)
+        config = CosmicDanceConfig(max_valid_altitude_km=800.0)
+        cleaned = clean_history(history, config)
+        assert cleaned.report.gross_errors == 0
+
+    def test_clean_data_untouched(self):
+        history = steady_history(days=20)
+        cleaned = clean_history(history)
+        assert cleaned.report.gross_errors == 0
+        assert cleaned.report.kept == 20
+
+
+class TestOrbitRaisingFilter:
+    def _raising_history(self):
+        # 20 days staging at 350, 80 days raising, 100 days at 550.
+        profile = [(float(d), 350.0) for d in range(20)]
+        profile += [(20.0 + d, 350.0 + 2.5 * d) for d in range(80)]
+        profile += [(100.0 + d, 550.0) for d in range(100)]
+        return history_from_profile(1, profile)
+
+    def test_raising_window_removed(self):
+        cleaned = clean_history(self._raising_history())
+        assert cleaned.report.orbit_raising > 90
+        assert cleaned.elements[0].altitude_km >= 545.0 - 1e-6
+
+    def test_operational_from_set(self):
+        cleaned = clean_history(self._raising_history())
+        assert cleaned.operational_from is not None
+        # Operational begins once within 5 km of 550.
+        assert cleaned.operational_from.days_since(
+            self._raising_history().first_epoch
+        ) == pytest.approx(98.0, abs=3.0)
+
+    def test_never_raised_satellite_kept(self):
+        # Lost from staging orbit: no raising phase to cut.
+        profile = [(float(d), 350.0 - 2.0 * d) for d in range(30)]
+        cleaned = clean_history(history_from_profile(1, profile))
+        assert cleaned.report.kept >= 15
+
+    def test_station_kept_satellite_fully_retained(self):
+        cleaned = clean_history(steady_history(days=50))
+        assert cleaned.report.orbit_raising == 0
+        assert cleaned.report.kept == 50
+
+
+class TestDecayingSatellite:
+    def test_decaying_tail_not_cut(self):
+        # Operational then decaying: the decay tail must be preserved —
+        # it is the signal the paper measures.
+        profile = [(float(d), 550.0) for d in range(100)]
+        profile += [(100.0 + d, 550.0 - 3.0 * d) for d in range(40)]
+        cleaned = clean_history(history_from_profile(1, profile))
+        assert cleaned.elements[-1].altitude_km < 450.0
+
+
+class TestCleanCatalog:
+    def test_aggregates_reports(self):
+        catalog = SatelliteCatalog()
+        for e in steady_history(catalog=1, days=10):
+            catalog.add(e)
+        for e in steady_history(catalog=2, days=10):
+            catalog.add(e)
+        catalog.add(record(1, 10.5, 30000.0))
+        cleaned, report = clean_catalog(catalog)
+        assert set(cleaned) == {1, 2}
+        assert report.total_records == 21
+        assert report.gross_errors == 1
+        assert report.kept == 20
+
+    def test_empty_satellite_dropped(self):
+        catalog = SatelliteCatalog()
+        catalog.add(record(9, 0.0, 30000.0))  # only a gross error
+        cleaned, report = clean_catalog(catalog)
+        assert cleaned == {}
+        assert report.gross_errors == 1
+
+    def test_report_addition(self):
+        from repro.core.cleaning import CleaningReport
+
+        total = CleaningReport(10, 1, 2, 7) + CleaningReport(5, 0, 1, 4)
+        assert total.total_records == 15
+        assert total.kept == 11
+
+
+class TestCleanedHistorySeries:
+    def test_altitude_series(self):
+        cleaned = clean_history(steady_history(days=10))
+        series = cleaned.altitude_series()
+        assert len(series) == 10
+        assert series.median() == pytest.approx(550.0, abs=0.5)
+
+    def test_bstar_series(self):
+        cleaned = clean_history(steady_history(days=10))
+        assert len(cleaned.bstar_series()) == 10

@@ -1,0 +1,43 @@
+"""Unit tests for pipeline configuration."""
+
+import pytest
+
+from repro.core import CosmicDanceConfig
+from repro.errors import PipelineError
+
+
+class TestDefaults:
+    def test_paper_values(self):
+        config = CosmicDanceConfig()
+        assert config.max_valid_altitude_km == 650.0  # Fig. 10 cut
+        assert config.already_decaying_threshold_km == 5.0  # §3 rule
+        assert config.post_event_window_days == 30.0  # Fig. 4(a)
+        assert config.quiet_window_days == 15.0  # Fig. 4(b)
+        assert config.event_percentile == 99.0  # the -63 nT marker
+
+    def test_frozen(self):
+        config = CosmicDanceConfig()
+        with pytest.raises(AttributeError):
+            config.max_valid_altitude_km = 700.0
+
+
+class TestValidation:
+    def test_rejects_empty_altitude_range(self):
+        with pytest.raises(PipelineError):
+            CosmicDanceConfig(max_valid_altitude_km=100.0, min_valid_altitude_km=200.0)
+
+    def test_rejects_nonpositive_decay_threshold(self):
+        with pytest.raises(PipelineError):
+            CosmicDanceConfig(already_decaying_threshold_km=0.0)
+
+    def test_rejects_unordered_percentiles(self):
+        with pytest.raises(PipelineError):
+            CosmicDanceConfig(quiet_percentile=99.0, high_percentile=80.0)
+
+    def test_rejects_nonpositive_association_window(self):
+        with pytest.raises(PipelineError):
+            CosmicDanceConfig(association_window_hours=0.0)
+
+    def test_custom_threshold_accepted(self):
+        config = CosmicDanceConfig(already_decaying_threshold_km=10.0)
+        assert config.already_decaying_threshold_km == 10.0

@@ -1,0 +1,98 @@
+"""Unit tests for the figure builders (on the shared quickstart run)."""
+
+import numpy as np
+import pytest
+
+from repro import CosmicDance, Epoch
+from repro.core import figures
+from repro.spaceweather import StormLevel
+
+
+@pytest.fixture(scope="module")
+def run(shared_quickstart):
+    cd = CosmicDance()
+    cd.ingest.add_dst(shared_quickstart.dst)
+    cd.ingest.add_elements(shared_quickstart.catalog.all_elements())
+    return shared_quickstart, cd.run()
+
+
+class TestFig1:
+    def test_distribution(self, run):
+        scenario, result = run
+        dist = figures.fig1_intensity_distribution(result.dst)
+        assert len(dist.cdf) == len(result.dst)
+        assert dist.percentiles[99.0] < dist.percentiles[95.0]
+        assert sum(dist.band_hours.values()) == len(result.dst)
+
+
+class TestFig2:
+    def test_durations(self, run):
+        scenario, result = run
+        stats = figures.fig2_storm_durations(result.dst)
+        assert StormLevel.SEVERE in stats
+        assert stats[StormLevel.MINOR].count >= stats[StormLevel.SEVERE].count
+
+
+class TestFig4:
+    def test_storm_vs_quiet(self, run):
+        scenario, result = run
+        event = result.storm_episodes[0].start
+        fig = figures.fig4_storm_vs_quiet(result, event)
+        assert fig.storm_event == event
+        assert fig.storm_curves.grid_days[-1] == pytest.approx(30.0)
+        if fig.quiet_curves is not None:
+            assert fig.quiet_curves.grid_days[-1] == pytest.approx(15.0)
+
+
+class TestFig5:
+    def test_intensity_influence(self, run):
+        scenario, result = run
+        fig = figures.fig5_intensity_influence(result)
+        assert fig.storm_event_count > 0
+        assert len(fig.storm_altitude_cdf) > 0
+        # Storm tail at least as long as the quiet tail.
+        if len(fig.quiet_altitude_cdf):
+            assert fig.storm_altitude_cdf.quantile(1.0) >= fig.quiet_altitude_cdf.quantile(0.5)
+
+
+class TestFig6:
+    def test_duration_influence(self, run):
+        scenario, result = run
+        fig = figures.fig6_duration_influence(result)
+        assert np.isfinite(fig.median_duration_hours)
+        assert len(fig.long_altitude_cdf) > 0
+
+
+class TestFig7:
+    def test_fleet_drag(self, run):
+        scenario, result = run
+        rows = figures.fig7_fleet_drag(
+            result, scenario.start.add_days(100), scenario.start.add_days(110)
+        )
+        assert len(rows) == 10
+
+
+class TestFig10:
+    def test_cleaning_cdfs(self, run):
+        scenario, result = run
+        raw = np.array([e.altitude_km for e in scenario.catalog.all_elements()])
+        fig = figures.fig10_cleaning_cdfs(result, raw)
+        assert fig.raw_cdf.quantile(1.0) >= fig.cleaned_cdf.quantile(1.0)
+        assert fig.cleaned_cdf.quantile(1.0) <= 650.0
+
+
+class TestFig3:
+    def test_selection_and_timelines(self, run):
+        scenario, result = run
+        chosen = figures.fig3_select_satellites(result, count=2)
+        assert 1 <= len(chosen) <= 2
+        timelines = figures.fig3_timelines(result, chosen)
+        assert len(timelines) == len(chosen)
+        for timeline in timelines:
+            assert len(timeline.altitude) > 0
+            assert len(timeline.dst) == len(timeline.bstar_hourly)
+
+    def test_unknown_satellites_skipped(self, run):
+        scenario, result = run
+        timelines = figures.fig3_timelines(result, [999999])
+        assert timelines == []

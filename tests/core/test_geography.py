@@ -1,0 +1,97 @@
+"""Unit tests for latitude-band storm-exposure analysis."""
+
+import pytest
+
+from repro.core import clean_history
+from repro.core.geography import (
+    DEFAULT_BAND_EDGES,
+    BandExposure,
+    latitude_at,
+    storm_band_exposure,
+)
+from repro.errors import PipelineError
+from repro.spaceweather.storms import StormEpisode
+from repro.time import Epoch
+
+from tests.core.helpers import START, steady_history
+
+
+def episode(day=10.0, hours=6):
+    start = START.add_days(day)
+    return StormEpisode(
+        start=start, end=start.add_hours(hours), peak_nt=-150.0, duration_hours=hours
+    )
+
+
+class TestLatitudeAt:
+    def test_latitude_bounded_by_inclination(self, sample_elements):
+        for hours in range(0, 4):
+            lat = latitude_at(sample_elements, sample_elements.epoch.add_hours(hours))
+            assert abs(lat) <= 53.5
+
+    def test_latitude_varies_over_orbit(self, sample_elements):
+        lat0 = latitude_at(sample_elements, sample_elements.epoch)
+        lat1 = latitude_at(
+            sample_elements, sample_elements.epoch.add_seconds(24 * 60.0)
+        )  # quarter orbit later
+        assert abs(lat1 - lat0) > 5.0
+
+
+class TestBandExposure:
+    def test_fractions_sum_to_one(self):
+        exposure = BandExposure(edges=(0.0, 30.0, 90.0), satellite_hours=(2.0, 6.0))
+        assert sum(exposure.fractions()) == pytest.approx(1.0)
+        assert exposure.total_hours == 8.0
+
+    def test_zero_exposure(self):
+        exposure = BandExposure(edges=(0.0, 90.0), satellite_hours=(0.0,))
+        assert exposure.fractions() == (0.0,)
+
+    def test_labels(self):
+        exposure = BandExposure(edges=(0.0, 25.0, 90.0), satellite_hours=(1.0, 1.0))
+        assert exposure.band_labels() == ("0-25 deg", "25-90 deg")
+
+
+class TestStormBandExposure:
+    @pytest.fixture(scope="class")
+    def cleaned(self):
+        return {1: clean_history(steady_history(days=30))}
+
+    def test_total_matches_sampling(self, cleaned):
+        exposure = storm_band_exposure(
+            cleaned, [episode(day=10.0, hours=6)], step_minutes=30.0
+        )
+        # One satellite, 6 hours sampled at 30-minute steps.
+        assert exposure.total_hours == pytest.approx(6.0)
+
+    def test_inclined_orbit_spreads_over_bands(self, cleaned):
+        exposure = storm_band_exposure(
+            cleaned, [episode(day=10.0, hours=6)], step_minutes=10.0
+        )
+        populated = [h for h in exposure.satellite_hours if h > 0]
+        # A 53-degree orbit sweeps all three default bands.
+        assert len(populated) == len(DEFAULT_BAND_EDGES) - 1
+
+    def test_satellite_without_elements_skipped(self, cleaned):
+        exposure = storm_band_exposure(
+            cleaned, [episode(day=-5.0, hours=3)], step_minutes=30.0
+        )
+        assert exposure.total_hours == 0.0
+
+    def test_max_satellites_cap(self):
+        cleaned = {
+            i: clean_history(steady_history(catalog=i, days=30)) for i in (1, 2, 3)
+        }
+        capped = storm_band_exposure(
+            cleaned, [episode(hours=2)], step_minutes=30.0, max_satellites=1
+        )
+        full = storm_band_exposure(cleaned, [episode(hours=2)], step_minutes=30.0)
+        assert full.total_hours == pytest.approx(3 * capped.total_hours)
+
+    def test_rejects_bad_edges(self, cleaned):
+        with pytest.raises(PipelineError):
+            storm_band_exposure(cleaned, [episode()], edges=(90.0, 0.0))
+
+    def test_rejects_bad_step(self, cleaned):
+        with pytest.raises(PipelineError):
+            storm_band_exposure(cleaned, [episode()], step_minutes=0.0)

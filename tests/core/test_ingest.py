@@ -1,0 +1,80 @@
+"""Unit tests for the ingestion layer."""
+
+import pytest
+
+from repro.core.ingest import IngestState
+from repro.errors import IngestError
+from repro.spaceweather import DstIndex
+from repro.spaceweather.wdc import format_wdc
+from repro.time import Epoch
+from repro.tle.format import format_tle_block
+
+from tests.core.helpers import record
+
+
+def small_dst_index(days=2):
+    return DstIndex.from_hourly(Epoch.from_calendar(2023, 1, 1), [-10.0] * 24 * days)
+
+
+class TestDstIngest:
+    def test_add_dst(self):
+        state = IngestState()
+        state.add_dst(small_dst_index())
+        assert state.stats.dst_hours == 48
+
+    def test_incremental_merge(self):
+        state = IngestState()
+        state.add_dst(small_dst_index(days=2))
+        later = DstIndex.from_hourly(Epoch.from_calendar(2023, 1, 3), [-20.0] * 24)
+        state.add_dst(later)
+        assert state.stats.dst_hours == 72
+
+    def test_wdc_text(self):
+        state = IngestState()
+        state.add_dst_wdc(format_wdc(small_dst_index()))
+        assert state.stats.dst_hours == 48
+
+
+class TestTleIngest:
+    def test_add_elements(self):
+        state = IngestState()
+        added = state.add_elements([record(1, 0.0, 550.0), record(1, 1.0, 550.0)])
+        assert added == 2
+        assert state.stats.tle_records_added == 2
+
+    def test_duplicates_counted(self):
+        state = IngestState()
+        state.add_elements([record(1, 0.0, 550.0)])
+        state.add_elements([record(1, 0.0, 550.0)])
+        assert state.stats.tle_records_added == 1
+        assert state.stats.tle_records_duplicate == 1
+
+    def test_tle_text(self):
+        state = IngestState()
+        text = format_tle_block([record(1, 0.0, 550.0), record(2, 0.0, 540.0)])
+        added = state.add_tle_text(text)
+        assert added == 2
+        assert state.stats.tle_parse_errors == 0
+
+    def test_corrupt_tle_text_counted(self):
+        state = IngestState()
+        text = format_tle_block([record(1, 0.0, 550.0)])
+        lines = text.splitlines()
+        lines[0] = lines[0][:-1] + "0"  # break the checksum
+        added = state.add_tle_text("\n".join(lines))
+        assert added == 0
+        assert state.stats.tle_parse_errors == 1
+
+
+class TestReadiness:
+    def test_requires_both_modalities(self):
+        state = IngestState()
+        with pytest.raises(IngestError):
+            state.require_ready()
+        state.add_dst(small_dst_index())
+        with pytest.raises(IngestError):
+            state.require_ready()
+        state.add_elements([record(1, 0.0, 550.0)])
+        catalog, dst = state.require_ready()
+        assert len(catalog) == 1
+        assert len(dst) == 48

@@ -1,0 +1,57 @@
+"""Unit tests for time ordering / timeline construction."""
+
+import numpy as np
+import pytest
+
+from repro.core import clean_history
+from repro.core.ordering import ordered_events, satellite_timeline
+from repro.spaceweather import DstIndex
+from repro.time import Epoch
+
+from tests.core.helpers import START, steady_history
+
+
+@pytest.fixture
+def dst():
+    return DstIndex.from_hourly(START, [-10.0] * 24 * 30)
+
+
+class TestSatelliteTimeline:
+    def test_hourly_alignment(self, dst):
+        cleaned = clean_history(steady_history(days=30))
+        timeline = satellite_timeline(cleaned, dst)
+        assert len(timeline.altitude_hourly) == len(timeline.dst)
+        # After the first TLE, LOCF altitude should be present.
+        later = timeline.altitude_hourly.values[30:]
+        assert np.isfinite(later).all()
+
+    def test_stale_samples_masked(self, dst):
+        # Only one TLE on day 0: by day 10 it is stale (> 7 days).
+        from tests.core.helpers import history_from_profile
+
+        cleaned = clean_history(history_from_profile(1, [(0.0, 550.0)]))
+        timeline = satellite_timeline(cleaned, dst)
+        assert np.isnan(timeline.altitude_hourly.values[-24:]).all()
+
+    def test_window_restriction(self, dst):
+        cleaned = clean_history(steady_history(days=30))
+        timeline = satellite_timeline(
+            cleaned, dst, start=START.add_days(5), end=START.add_days(10)
+        )
+        assert len(timeline.dst) == 24 * 5
+        assert timeline.altitude.start.unix >= START.add_days(5).unix
+
+
+class TestOrderedEvents:
+    def test_interleaved_and_ordered(self, dst):
+        cleaned = clean_history(steady_history(days=3))
+        events = ordered_events(cleaned, dst)
+        times = [e[0] for e in events]
+        assert times == sorted(times)
+        labels = {e[1] for e in events}
+        assert labels == {"dst", "altitude", "bstar"}
+
+    def test_counts(self, dst):
+        cleaned = clean_history(steady_history(days=3))
+        events = ordered_events(cleaned, dst)
+        assert len(events) == len(dst) + 2 * 3

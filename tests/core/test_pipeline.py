@@ -1,0 +1,158 @@
+"""Unit tests for the CosmicDance orchestrator."""
+
+import numpy as np
+import pytest
+
+from repro import CosmicDance, CosmicDanceConfig
+from repro.core.decay import DecayState
+from repro.errors import IngestError, PipelineError
+from repro.spaceweather import DstIndex
+from repro.time import Epoch
+
+from tests.core.helpers import START, history_from_profile, record, steady_history
+
+
+def storm_dst(days=120, storm_day=60, peak=-150.0):
+    # A gently varying quiet baseline (a constant one makes percentile
+    # thresholds degenerate with ties everywhere).
+    hours = np.arange(days * 24)
+    values = -10.0 + 3.0 * np.sin(0.7 * hours)
+    onset = storm_day * 24
+    values[onset] = -70.0
+    values[onset + 1] = peak
+    values[onset + 2] = peak * 0.8
+    for i in range(onset + 3, min(onset + 20, len(values))):
+        values[i] = peak * 0.8 * np.exp(-(i - onset - 2) / 8.0)
+    return DstIndex.from_hourly(START, values)
+
+
+def build_pipeline(histories, dst=None, config=None):
+    cd = CosmicDance(config)
+    cd.ingest.add_dst(dst if dst is not None else storm_dst())
+    for history in histories:
+        cd.ingest.add_elements(list(history))
+    return cd
+
+
+class TestRun:
+    def test_requires_ingest(self):
+        cd = CosmicDance()
+        with pytest.raises(IngestError):
+            cd.run()
+
+    def test_result_before_run_raises(self):
+        cd = CosmicDance()
+        with pytest.raises(PipelineError):
+            _ = cd.result
+
+    def test_detects_planted_storm(self):
+        cd = build_pipeline([steady_history(days=120)])
+        result = cd.run()
+        assert len(result.storm_episodes) >= 1
+        peak = min(e.peak_nt for e in result.storm_episodes)
+        assert peak == pytest.approx(-150.0)
+
+    def test_decay_after_storm_associated(self):
+        profile = [(float(d), 550.0) for d in range(61)]
+        profile += [(61.0 + d, 550.0 - 2.5 * (d + 2)) for d in range(59)]
+        history = history_from_profile(7, profile)
+        cd = build_pipeline([history, steady_history(catalog=8, days=120)])
+        result = cd.run()
+        decay_assoc = [
+            a for a in result.associations
+            if a.event.catalog_number == 7 and a.event.kind.value == "decay-onset"
+        ]
+        assert decay_assoc
+        assert decay_assoc[0].lag_hours < 96.0
+
+    def test_permanent_decay_flagged(self):
+        profile = [(float(d), 550.0) for d in range(61)]
+        profile += [(61.0 + d, 550.0 - 2.5 * (d + 2)) for d in range(59)]
+        cd = build_pipeline([history_from_profile(7, profile)])
+        result = cd.run()
+        assert [a.catalog_number for a in result.permanently_decayed] == [7]
+        assert result.decay_assessments[7].state is DecayState.PERMANENT_DECAY
+
+    def test_steady_fleet_no_associations(self):
+        cd = build_pipeline(
+            [steady_history(catalog=i, days=120) for i in (1, 2, 3)]
+        )
+        result = cd.run()
+        assert result.associations == []
+
+    def test_rerun_after_more_data(self):
+        cd = build_pipeline([steady_history(days=120)])
+        first = cd.run()
+        cd.ingest.add_elements([record(99, 0.0, 550.0), record(99, 1.0, 550.0),
+                                record(99, 2.0, 550.0)])
+        second = cd.run()
+        assert len(second.cleaned) == len(first.cleaned) + 1
+
+
+class TestAnalysisDelegates:
+    @pytest.fixture
+    def cd(self):
+        pipeline = build_pipeline(
+            [steady_history(catalog=i, days=120) for i in (1, 2)]
+        )
+        pipeline.run()
+        return pipeline
+
+    def test_post_event_curves(self, cd):
+        curves = cd.post_event_curves(START.add_days(60), affected_only=False)
+        assert curves.satellite_count == 2
+
+    def test_altitude_changes(self, cd):
+        samples = cd.altitude_changes([START.add_days(60)])
+        assert len(samples) == 2
+
+    def test_drag_changes(self, cd):
+        samples = cd.drag_changes([START.add_days(60)])
+        assert len(samples) == 2
+
+    def test_quiet_epochs(self, cd):
+        epochs = cd.quiet_epochs(count=3, seed=0)
+        assert len(epochs) <= 3
+
+    def test_fleet_drag(self, cd):
+        rows = cd.fleet_drag(START.add_days(58), START.add_days(63))
+        assert len(rows) == 5
+        assert rows[2].min_dst_nt == pytest.approx(-150.0)
+
+    def test_timeline(self, cd):
+        timeline = cd.timeline(1)
+        assert timeline.catalog_number == 1
+        with pytest.raises(PipelineError):
+            cd.timeline(12345)
+
+    def test_storm_triggers_default_threshold(self, cd):
+        triggers = cd.storm_triggers()
+        assert triggers == cd.result.storm_episodes
+
+    def test_storm_triggers_custom_threshold(self, cd):
+        triggers = cd.storm_triggers(threshold_nt=-140.0)
+        assert len(triggers) == 1
+
+
+class TestLogging:
+    def test_run_logs_stage_summaries(self, caplog):
+        import logging
+
+        cd = build_pipeline([steady_history(days=120)])
+        with caplog.at_level(logging.INFO, logger="repro.core.pipeline"):
+            cd.run()
+        text = caplog.text
+        assert "cleaning:" in text
+        assert "storms:" in text
+        assert "relations:" in text
+
+    def test_permanent_decay_logged_as_warning(self, caplog):
+        import logging
+
+        profile = [(float(d), 550.0) for d in range(61)]
+        profile += [(61.0 + d, 550.0 - 2.5 * (d + 2)) for d in range(59)]
+        cd = build_pipeline([history_from_profile(7, profile)])
+        with caplog.at_level(logging.WARNING, logger="repro.core.pipeline"):
+            cd.run()
+        assert "permanent decay" in caplog.text
+        assert "7" in caplog.text

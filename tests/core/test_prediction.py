@@ -1,0 +1,84 @@
+"""Unit tests for re-entry prediction."""
+
+import pytest
+
+from repro.core import clean_history
+from repro.core.prediction import predict_fleet_reentries, predict_reentry
+from repro.errors import PipelineError
+
+from tests.core.helpers import START, history_from_profile, steady_history
+
+
+def decaying_history(rate_km_day=2.0, onset=60, days=120, catalog=1):
+    profile = [(float(d), 550.0) for d in range(onset)]
+    profile += [
+        (float(onset + d), 550.0 - rate_km_day * d) for d in range(days - onset)
+    ]
+    return clean_history(history_from_profile(catalog, profile))
+
+
+class TestPredictReentry:
+    def test_prediction_fields(self):
+        cleaned = decaying_history()
+        prediction = predict_reentry(cleaned)
+        assert prediction.catalog_number == 1
+        assert prediction.observed_rate_km_day == pytest.approx(-2.0, abs=0.2)
+        assert prediction.days_to_reentry > 0
+        assert prediction.reentry_epoch > cleaned.elements[-1].epoch
+
+    def test_faster_decay_reenters_sooner(self):
+        slow = predict_reentry(decaying_history(rate_km_day=1.0))
+        fast = predict_reentry(decaying_history(rate_km_day=4.0))
+        assert fast.days_to_reentry < slow.days_to_reentry
+
+    def test_reentry_time_plausible(self):
+        # Decaying at ~2 km/day from ~430 km: the self-accelerating
+        # profile must land well before the linear extrapolation of the
+        # observed rate and after a handful of days.
+        cleaned = decaying_history(rate_km_day=2.0)
+        prediction = predict_reentry(cleaned)
+        linear_days = (prediction.last_altitude_km - 200.0) / 2.0
+        assert 3.0 < prediction.days_to_reentry <= linear_days + 1.0
+
+    def test_area_factor_fitted(self):
+        prediction = predict_reentry(decaying_history(rate_km_day=4.0))
+        assert 0.2 <= prediction.area_factor <= 20.0
+
+    def test_station_kept_rejected(self):
+        cleaned = clean_history(steady_history(days=100))
+        with pytest.raises(PipelineError):
+            predict_reentry(cleaned)
+
+    def test_already_below_reentry_altitude(self):
+        profile = [(float(d), 550.0) for d in range(60)]
+        profile += [(60.0 + d, 550.0 - 6.5 * d) for d in range(55)]
+        cleaned = clean_history(history_from_profile(1, profile))
+        prediction = predict_reentry(cleaned, reentry_altitude_km=300.0)
+        assert prediction.days_to_reentry == 0.0
+
+
+class TestFleetPredictions:
+    def test_only_decaying_satellites(self):
+        cleaned = {
+            1: decaying_history(catalog=1),
+            2: clean_history(steady_history(catalog=2, days=120)),
+        }
+        predictions = predict_fleet_reentries(cleaned)
+        assert [p.catalog_number for p in predictions] == [1]
+
+    def test_empty_fleet(self):
+        assert predict_fleet_reentries({}) == []
+
+    def test_integration_with_simulation(self, shared_quickstart):
+        """Predictions for simulated derelicts land near their true
+        re-entry (when the truth is observed in-window)."""
+        from repro import CosmicDance
+
+        cd = CosmicDance()
+        cd.ingest.add_dst(shared_quickstart.dst)
+        cd.ingest.add_elements(shared_quickstart.catalog.all_elements())
+        result = cd.run()
+        predictions = predict_fleet_reentries(result.cleaned)
+        for prediction in predictions:
+            assert prediction.days_to_reentry >= 0.0
+            assert prediction.area_factor > 0.0

@@ -1,0 +1,143 @@
+"""Unit tests for happens-closely-after relation extraction."""
+
+import pytest
+
+from repro.core import (
+    CosmicDanceConfig,
+    associate,
+    clean_history,
+    detect_decay_onsets,
+    detect_drag_spikes,
+)
+from repro.core.relations import TrajectoryEventKind
+from repro.spaceweather.storms import StormEpisode
+from repro.time import Epoch
+
+from tests.core.helpers import START, history_from_profile
+
+
+def episode(day: float, duration_hours: int = 6, peak: float = -120.0) -> StormEpisode:
+    start = START.add_days(day)
+    return StormEpisode(
+        start=start,
+        end=start.add_hours(duration_hours),
+        peak_nt=peak,
+        duration_hours=duration_hours,
+    )
+
+
+class TestDragSpikes:
+    def _history_with_spike(self, factor=5.0):
+        profile = [(float(d), 550.0) for d in range(60)]
+        bstars = [1e-4] * 60
+        for d in range(40, 44):
+            bstars[d] = factor * 1e-4
+        return clean_history(history_from_profile(1, profile, bstars=bstars))
+
+    def test_spike_detected_once_per_run(self):
+        events = detect_drag_spikes(self._history_with_spike())
+        assert len(events) == 1
+        event = events[0]
+        assert event.kind is TrajectoryEventKind.DRAG_SPIKE
+        assert event.epoch.days_since(START) == pytest.approx(40.0)
+        assert event.magnitude == pytest.approx(5.0, rel=0.05)
+
+    def test_no_spike_in_flat_bstar(self):
+        profile = [(float(d), 550.0) for d in range(30)]
+        cleaned = clean_history(history_from_profile(1, profile))
+        assert detect_drag_spikes(cleaned) == []
+
+    def test_factor_configurable(self):
+        config = CosmicDanceConfig(drag_spike_factor=10.0)
+        assert detect_drag_spikes(self._history_with_spike(5.0), config) == []
+
+    def test_short_history_no_events(self):
+        profile = [(0.0, 550.0), (1.0, 550.0)]
+        cleaned = clean_history(history_from_profile(1, profile))
+        assert detect_drag_spikes(cleaned) == []
+
+    def test_two_separate_spikes(self):
+        profile = [(float(d), 550.0) for d in range(100)]
+        bstars = [1e-4] * 100
+        for d in (30, 31, 70, 71):
+            bstars[d] = 6e-4
+        cleaned = clean_history(history_from_profile(1, profile, bstars=bstars))
+        assert len(detect_drag_spikes(cleaned)) == 2
+
+
+class TestDecayOnsets:
+    def test_onset_detected(self):
+        profile = [(float(d), 550.0) for d in range(60)]
+        profile += [(60.0 + d, 550.0 - 2.0 * (d + 3)) for d in range(20)]
+        cleaned = clean_history(history_from_profile(1, profile))
+        events = detect_decay_onsets(cleaned)
+        assert len(events) == 1
+        assert events[0].kind is TrajectoryEventKind.DECAY_ONSET
+        assert events[0].epoch.days_since(START) == pytest.approx(60.0, abs=4.0)
+
+    def test_single_noisy_record_ignored(self):
+        profile = [(float(d), 550.0) for d in range(60)]
+        profile[30] = (30.0, 540.0)  # one bad record
+        cleaned = clean_history(history_from_profile(1, profile))
+        assert detect_decay_onsets(cleaned) == []
+
+    def test_steady_history_no_onset(self):
+        profile = [(float(d), 550.0) for d in range(60)]
+        cleaned = clean_history(history_from_profile(1, profile))
+        assert detect_decay_onsets(cleaned) == []
+
+    def test_magnitude_is_max_deficit(self):
+        profile = [(float(d), 550.0) for d in range(60)]
+        profile += [(60.0 + d, 550.0 - 2.0 * (d + 3)) for d in range(20)]
+        cleaned = clean_history(history_from_profile(1, profile))
+        events = detect_decay_onsets(cleaned)
+        assert events[0].magnitude > 20.0
+
+
+class TestAssociate:
+    def _decay_event(self, day: float):
+        from repro.core.relations import TrajectoryEvent
+
+        return TrajectoryEvent(
+            catalog_number=1,
+            kind=TrajectoryEventKind.DECAY_ONSET,
+            epoch=START.add_days(day),
+            magnitude=10.0,
+        )
+
+    def test_event_within_window_associated(self):
+        episodes = [episode(day=10.0)]
+        events = [self._decay_event(day=11.0)]
+        pairs = associate(episodes, events)
+        assert len(pairs) == 1
+        assert pairs[0].lag_hours == pytest.approx(24.0)
+
+    def test_event_outside_window_not_associated(self):
+        episodes = [episode(day=10.0)]
+        events = [self._decay_event(day=20.0)]
+        assert associate(episodes, events) == []
+
+    def test_event_before_storm_not_associated(self):
+        episodes = [episode(day=10.0)]
+        events = [self._decay_event(day=9.0)]
+        assert associate(episodes, events) == []
+
+    def test_most_recent_storm_wins(self):
+        episodes = [episode(day=10.0), episode(day=11.0)]
+        events = [self._decay_event(day=11.5)]
+        pairs = associate(episodes, events)
+        assert len(pairs) == 1
+        assert pairs[0].episode.start.days_since(START) == pytest.approx(11.0)
+
+    def test_window_configurable(self):
+        config = CosmicDanceConfig(association_window_hours=24.0 * 30)
+        episodes = [episode(day=10.0)]
+        events = [self._decay_event(day=25.0)]
+        assert len(associate(episodes, events, config)) == 1
+
+    def test_event_during_episode_associated(self):
+        episodes = [episode(day=10.0, duration_hours=48)]
+        events = [self._decay_event(day=10.5)]
+        pairs = associate(episodes, events)
+        assert len(pairs) == 1
+        assert pairs[0].lag_hours == pytest.approx(12.0)

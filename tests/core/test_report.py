@@ -1,0 +1,61 @@
+"""Unit tests for text rendering of figure data."""
+
+import numpy as np
+
+from repro.core.report import format_quantiles, render_cdf, render_series, render_table
+from repro.timeseries import empirical_cdf
+
+
+class TestRenderTable:
+    def test_contains_title_and_rows(self):
+        text = render_table("My table", ("a", "b"), [(1, 2), (3, 4)])
+        assert "My table" in text
+        assert "1" in text and "4" in text
+
+    def test_alignment(self):
+        text = render_table("t", ("col", "x"), [("long-value", 1)])
+        lines = text.splitlines()
+        assert lines[1].startswith("col")
+
+    def test_empty_rows(self):
+        text = render_table("t", ("a",), [])
+        assert "a" in text
+
+
+class TestRenderCdf:
+    def test_quantile_rows(self):
+        cdf = empirical_cdf(np.arange(100.0))
+        text = render_cdf("alt change", cdf, unit=" km")
+        assert "p50" in text
+        assert "km" in text
+        assert "n=100" in text
+
+    def test_custom_probs(self):
+        cdf = empirical_cdf([1.0, 2.0])
+        text = render_cdf("x", cdf, probs=(0.5,))
+        assert "p50" in text and "p95" not in text
+
+
+class TestRenderSeries:
+    def test_downsampling(self):
+        xs = np.arange(1000.0)
+        text = render_series("s", xs, xs, max_rows=10)
+        assert len(text.splitlines()) <= 3 + 40
+
+    def test_labels(self):
+        text = render_series("s", [0.0], [1.0], x_label="day", y_label="km")
+        assert "day" in text and "km" in text
+
+
+class TestFormatQuantiles:
+    def test_basic(self):
+        text = format_quantiles(np.arange(101.0), (50, 95))
+        assert "q50=50.000" in text
+        assert "q95=95.000" in text
+
+    def test_empty(self):
+        assert format_quantiles([], (50,)) == "(empty)"
+
+    def test_ignores_nan(self):
+        text = format_quantiles([1.0, float("nan"), 3.0], (50,))
+        assert "q50=2.000" in text

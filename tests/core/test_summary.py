@@ -1,0 +1,76 @@
+"""Unit tests for the run-summary renderer."""
+
+import numpy as np
+import pytest
+
+from repro import CosmicDance
+from repro.core.summary import summarize_run
+from repro.spaceweather import DstIndex
+
+from tests.core.helpers import START, history_from_profile, steady_history
+
+
+@pytest.fixture
+def result():
+    hours = np.arange(24 * 120)
+    values = -10.0 + 3.0 * np.sin(0.7 * hours)
+    onset = 60 * 24
+    values[onset : onset + 4] = (-70.0, -150.0, -120.0, -80.0)
+    cd = CosmicDance()
+    cd.ingest.add_dst(DstIndex.from_hourly(START, values))
+    cd.ingest.add_elements(list(steady_history(catalog=1, days=120)))
+    profile = [(float(d), 550.0) for d in range(61)]
+    profile += [(61.0 + d, 550.0 - 2.5 * (d + 2)) for d in range(59)]
+    cd.ingest.add_elements(list(history_from_profile(7, profile)))
+    return cd.run()
+
+
+class TestSummarizeRun:
+    def test_all_sections_present(self, result):
+        text = summarize_run(result)
+        for heading in (
+            "Data inventory",
+            "Solar activity",
+            "Happens-closely-after relations",
+            "Fleet decay states",
+        ):
+            assert heading in text
+
+    def test_counts_rendered(self, result):
+        text = summarize_run(result)
+        assert "satellites after cleaning" in text
+        assert "-150 nT" in text
+
+    def test_permanent_decay_listed(self, result):
+        text = summarize_run(result)
+        assert "Permanent decays" in text
+        assert "7" in text
+
+    def test_max_rows_respected(self, result):
+        text = summarize_run(result, max_rows=0)
+        # Aggregates still render even when per-event rows are capped.
+        assert "decay onsets closely after storms" in text
+
+
+class TestCliReport:
+    def test_report_command(self, result, tmp_path, capsys):
+        import io
+
+        from repro.cli import main
+        from repro.io import DataStore
+        from repro.io.csvio import write_dst_csv
+
+        store = DataStore(tmp_path / "cache")
+        store.save_dst(result.dst)
+        from repro.tle import SatelliteCatalog
+
+        catalog = SatelliteCatalog()
+        for cleaned in result.cleaned.values():
+            for element in cleaned.elements:
+                catalog.add(element)
+        store.save_catalog(catalog)
+
+        assert main(["report", "--cache", str(tmp_path / "cache")]) == 0
+        out = capsys.readouterr().out
+        assert "Data inventory" in out
+        assert "Fleet decay states" in out

@@ -1,0 +1,80 @@
+"""Unit tests for LEOScope-style trigger scheduling."""
+
+import pytest
+
+from repro.core.triggers import MeasurementCampaign, TriggerPolicy, schedule_campaigns
+from repro.errors import PipelineError
+from repro.spaceweather.storms import StormEpisode
+from repro.time import Epoch
+
+from tests.core.helpers import START
+
+
+def episode(day: float, peak: float = -120.0, hours: int = 6) -> StormEpisode:
+    start = START.add_days(day)
+    return StormEpisode(
+        start=start, end=start.add_hours(hours), peak_nt=peak, duration_hours=hours
+    )
+
+
+class TestPolicy:
+    def test_rejects_negative_windows(self):
+        with pytest.raises(PipelineError):
+            TriggerPolicy(baseline_hours=-1.0)
+        with pytest.raises(PipelineError):
+            TriggerPolicy(min_gap_hours=-1.0)
+
+
+class TestScheduling:
+    def test_single_storm_single_campaign(self):
+        campaigns = schedule_campaigns([episode(10.0)])
+        assert len(campaigns) == 1
+        c = campaigns[0]
+        assert c.baseline_start < c.active_start < c.active_end
+        assert c.active_start == episode(10.0).start
+
+    def test_windows_follow_policy(self):
+        policy = TriggerPolicy(baseline_hours=12.0, post_storm_hours=24.0)
+        c = schedule_campaigns([episode(10.0, hours=6)], policy)[0]
+        assert c.active_start.hours_since(c.baseline_start) == pytest.approx(12.0)
+        assert c.active_end.hours_since(c.active_start) == pytest.approx(6 + 24.0)
+
+    def test_shallow_storms_filtered(self):
+        campaigns = schedule_campaigns([episode(10.0, peak=-40.0)])
+        assert campaigns == []
+
+    def test_distant_storms_separate_campaigns(self):
+        campaigns = schedule_campaigns([episode(10.0), episode(30.0)])
+        assert len(campaigns) == 2
+
+    def test_close_storms_merged(self):
+        campaigns = schedule_campaigns([episode(10.0), episode(10.5)])
+        assert len(campaigns) == 1
+        merged = campaigns[0]
+        # The merged campaign covers both storms.
+        assert merged.active_end.unix >= episode(10.5).end.add_hours(48.0).unix - 1.0
+
+    def test_merge_keeps_deepest_trigger(self):
+        campaigns = schedule_campaigns(
+            [episode(10.0, peak=-110.0), episode(10.5, peak=-250.0)]
+        )
+        assert len(campaigns) == 1
+        assert campaigns[0].trigger.peak_nt == -250.0
+        assert campaigns[0].priority == 3
+
+    def test_priorities(self):
+        peaks = {-60.0: 1, -150.0: 2, -250.0: 3, -400.0: 4}
+        for peak, priority in peaks.items():
+            campaigns = schedule_campaigns([episode(10.0, peak=peak)])
+            assert campaigns[0].priority == priority
+
+    def test_unordered_input(self):
+        campaigns = schedule_campaigns([episode(30.0), episode(10.0)])
+        assert campaigns[0].active_start < campaigns[1].active_start
+
+    def test_empty_input(self):
+        assert schedule_campaigns([]) == []
+
+    def test_campaign_duration(self):
+        c = schedule_campaigns([episode(10.0, hours=6)])[0]
+        assert c.duration_hours == pytest.approx(6.0 + 6.0 + 48.0)

@@ -1,0 +1,97 @@
+"""Unit tests for post-event observation windows (Fig. 4 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.core import clean_history, post_event_curves
+from repro.core.windows import _is_affected
+
+from tests.core.helpers import START, history_from_profile, steady_history
+
+
+def dip_profile(onset_day, depth_km, dip_days, days=120):
+    """Station-kept, then a dip of *depth_km* recovering over *dip_days*."""
+    profile = []
+    for d in range(days):
+        if onset_day <= d < onset_day + dip_days:
+            progress = (d - onset_day) / dip_days
+            # Triangle dip: down then back up.
+            dip = depth_km * (1.0 - abs(2.0 * progress - 1.0))
+            profile.append((float(d), 550.0 - dip))
+        else:
+            profile.append((float(d), 550.0))
+    return profile
+
+
+class TestPostEventCurves:
+    def test_affected_satellite_selected(self):
+        # The paper's filter keys off the *median* in-window deviation,
+        # so the dip must occupy most of the 30-day window.
+        cleaned = {
+            1: clean_history(history_from_profile(1, dip_profile(62, 8.0, 24))),
+            2: clean_history(steady_history(catalog=2, days=120)),
+        }
+        curves = post_event_curves(cleaned, START.add_days(60), affected_only=True)
+        assert 1 in curves.curves
+
+    def test_unaffected_excluded_in_affected_mode(self):
+        cleaned = {2: clean_history(steady_history(catalog=2, days=120))}
+        curves = post_event_curves(cleaned, START.add_days(60), affected_only=True)
+        assert curves.satellite_count == 0
+
+    def test_all_mode_includes_steady(self):
+        cleaned = {2: clean_history(steady_history(catalog=2, days=120))}
+        curves = post_event_curves(cleaned, START.add_days(60), affected_only=False)
+        assert curves.satellite_count == 1
+
+    def test_median_curve_peaks_mid_window(self):
+        cleaned = {
+            i: clean_history(history_from_profile(i, dip_profile(62, 8.0, 24)))
+            for i in range(1, 6)
+        }
+        curves = post_event_curves(cleaned, START.add_days(60))
+        peak_day = float(curves.grid_days[np.nanargmax(curves.median_curve)])
+        assert 8.0 <= peak_day <= 20.0
+        assert float(np.nanmax(curves.median_curve)) == pytest.approx(8.0, abs=1.5)
+
+    def test_already_decaying_excluded(self):
+        profile = [(float(d), 550.0) for d in range(40)]
+        profile += [(40.0 + d, 550.0 - 1.0 * d) for d in range(80)]
+        cleaned = {1: clean_history(history_from_profile(1, profile))}
+        curves = post_event_curves(cleaned, START.add_days(70), affected_only=False)
+        assert curves.satellite_count == 0
+
+    def test_satellite_without_coverage_excluded(self):
+        cleaned = {1: clean_history(steady_history(days=30))}
+        # Event after the record ends.
+        curves = post_event_curves(cleaned, START.add_days(50), affected_only=False)
+        assert curves.satellite_count == 0
+
+    def test_window_days_controls_grid(self):
+        cleaned = {1: clean_history(steady_history(days=120))}
+        curves = post_event_curves(
+            cleaned, START.add_days(10), window_days=15.0, affected_only=False
+        )
+        assert curves.grid_days[-1] == pytest.approx(15.0)
+
+    def test_empty_input(self):
+        curves = post_event_curves({}, START.add_days(10))
+        assert curves.satellite_count == 0
+        assert np.isnan(curves.median_curve).all()
+
+
+class TestAffectedFilter:
+    def test_dip_and_recover_is_affected(self):
+        curve = np.array([0.0, 2.0, 5.0, 6.0, 5.0, 3.0, 1.0])
+        assert _is_affected(curve)
+
+    def test_flat_not_affected(self):
+        assert not _is_affected(np.zeros(10))
+
+    def test_monotonic_decay_not_affected(self):
+        # Permanent decay: deviation at the end is the maximum.
+        curve = np.linspace(0.0, 30.0, 20)
+        assert not _is_affected(curve)
+
+    def test_too_few_samples(self):
+        assert not _is_affected(np.array([1.0, np.nan, np.nan]))

@@ -1,0 +1,96 @@
+"""End-to-end integration: simulated scenario through the full pipeline."""
+
+import numpy as np
+import pytest
+
+from repro import CosmicDance
+from repro.core.relations import TrajectoryEventKind
+from repro.spaceweather import StormLevel
+
+
+@pytest.fixture(scope="module")
+def pipeline(shared_quickstart):
+    cd = CosmicDance()
+    cd.ingest.add_dst(shared_quickstart.dst)
+    cd.ingest.add_elements(shared_quickstart.catalog.all_elements())
+    cd.run()
+    return cd
+
+
+class TestFullPipeline:
+    def test_planted_storms_detected(self, pipeline, shared_quickstart):
+        result = pipeline.result
+        detected_peaks = sorted(e.peak_nt for e in result.storm_episodes)
+        # The two planted storms (-163, -213) must be among detections;
+        # quiet-baseline noise stacks on the planted peaks.
+        assert detected_peaks[0] < -190.0
+        assert any(-195.0 < p < -130.0 for p in detected_peaks)
+
+    def test_cleaning_removed_gross_errors(self, pipeline, shared_quickstart):
+        report = pipeline.result.cleaning_report
+        total = shared_quickstart.catalog.total_records()
+        assert report.total_records == total
+        # Tracking simulator injects ~0.4% gross errors.
+        assert 0 < report.gross_errors < 0.02 * total
+
+    def test_cleaned_altitudes_plausible(self, pipeline):
+        for cleaned in pipeline.result.cleaned.values():
+            alts = [e.altitude_km for e in cleaned.elements]
+            assert all(150.0 <= a <= 650.0 for a in alts)
+
+    def test_event_threshold_reasonable(self, pipeline):
+        # 99th-ptile threshold should flag storms, not quiet noise.
+        assert -120.0 < pipeline.result.event_threshold_nt < -30.0
+
+    def test_drag_spikes_follow_storms(self, pipeline):
+        spikes = [
+            a
+            for a in pipeline.result.associations
+            if a.event.kind is TrajectoryEventKind.DRAG_SPIKE
+        ]
+        assert spikes, "storms should produce associated drag spikes"
+        assert all(a.lag_hours >= 0 for a in spikes)
+
+    def test_timeline_accessible_for_every_cleaned_satellite(self, pipeline):
+        result = pipeline.result
+        for catalog_number in list(result.cleaned)[:5]:
+            timeline = pipeline.timeline(catalog_number)
+            assert len(timeline.dst) > 0
+            assert len(timeline.altitude) > 0
+
+    def test_quiet_epochs_exist(self, pipeline):
+        assert pipeline.quiet_epochs(count=3, seed=1)
+
+    def test_fleet_drag_rises_during_storm(self, pipeline, shared_quickstart):
+        storm = shared_quickstart.storms[1]  # the -213 nT event
+        rows = pipeline.fleet_drag(
+            storm.onset.add_days(-10), storm.onset.add_days(2)
+        )
+        quiet = [r.median_bstar for r in rows[:8] if np.isfinite(r.median_bstar)]
+        storm_days = [r.median_bstar for r in rows[10:] if np.isfinite(r.median_bstar)]
+        assert max(storm_days) > 1.4 * np.mean(quiet)
+
+
+class TestGroundTruthValidation:
+    """The pipeline's detections should line up with simulation truth."""
+
+    def test_derelicts_flagged_as_permanent_decay(self, pipeline, shared_quickstart):
+        from repro.simulation.satellite import SatelliteState
+
+        truth_derelicts = {
+            t.catalog_number
+            for t in shared_quickstart.trajectories
+            if SatelliteState.DERELICT in t.states
+        }
+        flagged = {a.catalog_number for a in pipeline.result.permanently_decayed}
+        # Every true derelict with enough record should be flagged (the
+        # converse can include deep outages, which is acceptable).
+        for catalog_number in truth_derelicts:
+            if catalog_number in pipeline.result.cleaned:
+                cleaned = pipeline.result.cleaned[catalog_number]
+                if len(cleaned) > 20:
+                    assert catalog_number in flagged
+
+    def test_storm_hour_counts_match_simulation(self, pipeline, shared_quickstart):
+        counts = shared_quickstart.dst.level_hour_counts()
+        assert counts[StormLevel.SEVERE] >= 1  # the planted -213 event

@@ -1,0 +1,119 @@
+"""Failure-injection integration tests: corrupted inputs must degrade
+gracefully, never crash the pipeline."""
+
+import numpy as np
+import pytest
+
+from repro import CosmicDance
+from repro.errors import IngestError, TimeSeriesError
+from repro.spaceweather import DstIndex
+from repro.time import Epoch
+from repro.timeseries import TimeSeries
+from repro.tle.format import format_tle_block
+
+from tests.core.helpers import START, record, steady_history
+
+
+def noisy_dst(days=60):
+    hours = np.arange(days * 24)
+    return DstIndex.from_hourly(START, -10.0 + 3.0 * np.sin(0.7 * hours))
+
+
+class TestCorruptTleText:
+    def test_mixed_good_and_bad_records(self):
+        good = format_tle_block([record(1, float(d), 550.0) for d in range(10)])
+        lines = good.splitlines()
+        lines[4] = lines[4][:30] + "X" * 39  # destroy one line 1
+        lines[9] = lines[9][:-1] + "5"  # checksum break
+        cd = CosmicDance()
+        cd.ingest.add_dst(noisy_dst())
+        added = cd.ingest.add_tle_text("\n".join(lines))
+        assert added <= 8
+        assert cd.ingest.stats.tle_parse_errors >= 2
+        result = cd.run()
+        assert 1 in result.cleaned
+
+    def test_total_garbage_text(self):
+        cd = CosmicDance()
+        cd.ingest.add_dst(noisy_dst())
+        added = cd.ingest.add_tle_text("hello\nworld\n\x00\x01\n")
+        assert added == 0
+        with pytest.raises(IngestError):
+            cd.run()
+
+
+class TestDstGaps:
+    def test_pipeline_survives_missing_hours(self):
+        values = np.full(60 * 24, -10.0) + 3.0 * np.sin(np.arange(60 * 24))
+        values[100:130] = np.nan  # a tracking outage at the observatory
+        values[800] = np.nan
+        cd = CosmicDance()
+        cd.ingest.add_dst(DstIndex.from_hourly(START, values))
+        cd.ingest.add_elements(list(steady_history(days=60)))
+        result = cd.run()
+        assert result.dst.missing_hours() == 31
+
+    def test_non_hourly_dst_rejected_at_construction(self):
+        from repro.errors import SpaceWeatherError
+
+        with pytest.raises(SpaceWeatherError):
+            DstIndex(TimeSeries([0.0, 1000.0], [-10.0, -20.0]))
+
+
+class TestAdversarialHistories:
+    def test_satellite_with_one_record(self):
+        cd = CosmicDance()
+        cd.ingest.add_dst(noisy_dst())
+        cd.ingest.add_elements([record(5, 1.0, 550.0)])
+        result = cd.run()
+        assert 5 in result.cleaned
+        assert result.associations == []
+
+    def test_satellite_with_all_gross_errors(self):
+        cd = CosmicDance()
+        cd.ingest.add_dst(noisy_dst())
+        cd.ingest.add_elements([record(6, float(d), 30000.0) for d in range(5)])
+        cd.ingest.add_elements(list(steady_history(catalog=7, days=60)))
+        result = cd.run()
+        assert 6 not in result.cleaned
+        assert 7 in result.cleaned
+
+    def test_out_of_order_ingest(self):
+        cd = CosmicDance()
+        cd.ingest.add_dst(noisy_dst())
+        records = [record(8, float(d), 550.0) for d in range(20)]
+        cd.ingest.add_elements(reversed(records))
+        result = cd.run()
+        epochs = [e.epoch.unix for e in result.cleaned[8].elements]
+        assert epochs == sorted(epochs)
+
+    def test_duplicate_heavy_ingest(self):
+        cd = CosmicDance()
+        cd.ingest.add_dst(noisy_dst())
+        records = [record(9, float(d), 550.0) for d in range(20)]
+        for _ in range(3):
+            cd.ingest.add_elements(records)
+        assert cd.ingest.stats.tle_records_duplicate == 40
+        result = cd.run()
+        assert len(result.cleaned[9].elements) == 20
+
+
+class TestWindowEdges:
+    def test_event_at_data_boundary(self):
+        cd = CosmicDance()
+        cd.ingest.add_dst(noisy_dst())
+        cd.ingest.add_elements(list(steady_history(days=60)))
+        cd.run()
+        # Events at the very start/end of data must not crash.
+        start_curves = cd.post_event_curves(START, affected_only=False)
+        end_curves = cd.post_event_curves(START.add_days(59), affected_only=False)
+        assert start_curves.satellite_count >= 0
+        assert end_curves.satellite_count >= 0
+
+    def test_fleet_drag_outside_data(self):
+        cd = CosmicDance()
+        cd.ingest.add_dst(noisy_dst())
+        cd.ingest.add_elements(list(steady_history(days=60)))
+        cd.run()
+        rows = cd.fleet_drag(START.add_days(100), START.add_days(103))
+        assert all(r.tracked_satellites == 0 for r in rows)

@@ -1,0 +1,69 @@
+"""Integration test: the May-2024 super-storm scenario end to end.
+
+Smaller than the benchmark configuration but exercising the same path:
+the super-storm must appear at full depth, drive a multi-x drag rise,
+and cost no satellites.
+"""
+
+import numpy as np
+import pytest
+
+from repro import CosmicDance, Epoch
+from repro.simulation import may2024_scenario
+
+
+@pytest.fixture(scope="module")
+def may_pipeline():
+    scenario = may2024_scenario(total_satellites=40, seed=1)
+    cd = CosmicDance()
+    cd.ingest.add_dst(scenario.dst)
+    cd.ingest.add_elements(scenario.catalog.all_elements())
+    cd.run()
+    return scenario, cd
+
+
+class TestMay2024:
+    def test_superstorm_depth(self, may_pipeline):
+        scenario, cd = may_pipeline
+        window = scenario.dst.slice(
+            Epoch.from_calendar(2024, 5, 10), Epoch.from_calendar(2024, 5, 13)
+        )
+        assert window.min_nt() < -380.0
+
+    def test_storm_is_extreme_class(self, may_pipeline):
+        from repro.spaceweather import StormLevel, classify_dst
+
+        scenario, cd = may_pipeline
+        assert classify_dst(scenario.dst.min_nt()) is StormLevel.EXTREME
+
+    def test_drag_multiplier(self, may_pipeline):
+        scenario, cd = may_pipeline
+        rows = cd.fleet_drag(
+            Epoch.from_calendar(2024, 5, 1), Epoch.from_calendar(2024, 5, 20)
+        )
+        finite = [r.median_bstar for r in rows if np.isfinite(r.median_bstar)]
+        quiet = float(np.median(finite[:8]))
+        peak = max(finite)
+        assert 2.5 < peak / quiet < 9.0
+
+    def test_no_satellite_loss(self, may_pipeline):
+        scenario, cd = may_pipeline
+        assert cd.result.permanently_decayed == []
+        assert not any(t.reentered for t in scenario.trajectories)
+
+    def test_no_drastic_altitude_change(self, may_pipeline):
+        scenario, cd = may_pipeline
+        curves = cd.post_event_curves(
+            Epoch.from_calendar(2024, 5, 10, 17),
+            window_days=15.0,
+            affected_only=False,
+        )
+        assert float(np.nanmax(curves.median_curve)) < 3.0
+
+    def test_superstorm_triggers_campaign(self, may_pipeline):
+        scenario, cd = may_pipeline
+        campaigns = cd.measurement_campaigns()
+        assert campaigns
+        deepest = min(campaigns, key=lambda c: c.trigger.peak_nt)
+        assert deepest.trigger.peak_nt < -380.0
+        assert deepest.priority == 4

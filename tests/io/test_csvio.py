@@ -1,0 +1,77 @@
+"""Unit tests for CSV codecs."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.errors import TimeSeriesError
+from repro.io import read_dst_csv, read_series_csv, write_dst_csv, write_series_csv
+from repro.spaceweather import DstIndex
+from repro.time import Epoch
+from repro.timeseries import TimeSeries
+
+
+def roundtrip_series(series):
+    buffer = io.StringIO()
+    write_series_csv(series, buffer)
+    return read_series_csv(buffer.getvalue())
+
+
+class TestSeriesCsv:
+    def test_round_trip(self):
+        series = TimeSeries(
+            [Epoch.from_calendar(2023, 1, 1, h).unix for h in range(5)],
+            [1.0, 2.5, -3.25, 0.0, 100.0],
+        )
+        back = roundtrip_series(series)
+        assert len(back) == 5
+        assert list(back.values) == pytest.approx(list(series.values))
+        assert list(back.times) == pytest.approx(list(series.times), abs=1.0)
+
+    def test_nan_round_trip(self):
+        series = TimeSeries(
+            [Epoch.from_calendar(2023, 1, 1, h).unix for h in range(3)],
+            [1.0, float("nan"), 3.0],
+        )
+        back = roundtrip_series(series)
+        assert np.isnan(back.values[1])
+
+    def test_header_written(self):
+        buffer = io.StringIO()
+        write_series_csv(TimeSeries.empty(), buffer, value_name="altitude_km")
+        assert buffer.getvalue() == "timestamp,altitude_km\n"
+
+    def test_rejects_wrong_header(self):
+        with pytest.raises(TimeSeriesError):
+            read_series_csv("wrong,header\n")
+
+    def test_rejects_bad_value(self):
+        with pytest.raises(TimeSeriesError):
+            read_series_csv("timestamp,value\n2023-01-01T00:00:00,abc\n")
+
+    def test_rejects_bad_row(self):
+        with pytest.raises(TimeSeriesError):
+            read_series_csv("timestamp,value\nno-comma-here\n")
+
+    def test_blank_lines_skipped(self):
+        text = "timestamp,value\n2023-01-01T00:00:00,1.0\n\n"
+        assert len(read_series_csv(text)) == 1
+
+    def test_precision_preserved(self):
+        series = TimeSeries([0.0], [1.2345678901234e-4])
+        back = roundtrip_series(series)
+        assert back.values[0] == series.values[0]
+
+
+class TestDstCsv:
+    def test_round_trip(self):
+        dst = DstIndex.from_hourly(
+            Epoch.from_calendar(2023, 3, 1), [-10.0, -60.0, float("nan"), -20.0]
+        )
+        buffer = io.StringIO()
+        write_dst_csv(dst, buffer)
+        back = read_dst_csv(buffer.getvalue())
+        assert len(back) == 4
+        assert back.min_nt() == -60.0
+        assert back.missing_hours() == 1

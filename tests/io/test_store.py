@@ -1,0 +1,116 @@
+"""Unit tests for the DataStore local cache."""
+
+import pytest
+
+from repro.errors import IngestError
+from repro.io import DataStore
+from repro.spaceweather import DstIndex
+from repro.time import Epoch
+from repro.tle import SatelliteCatalog
+
+from tests.core.helpers import record
+
+
+@pytest.fixture
+def store(tmp_path):
+    return DataStore(tmp_path / "cache")
+
+
+def small_catalog():
+    catalog = SatelliteCatalog()
+    for cat in (44713, 44714):
+        for day in range(5):
+            catalog.add(record(cat, float(day), 550.0 - day * 0.1))
+    return catalog
+
+
+class TestDstCache:
+    def test_missing_returns_none(self, store):
+        assert store.load_dst() is None
+
+    def test_round_trip(self, store):
+        dst = DstIndex.from_hourly(Epoch.from_calendar(2023, 1, 1), [-10.0, -55.0])
+        store.save_dst(dst)
+        back = store.load_dst()
+        assert back is not None
+        assert back.min_nt() == -55.0
+
+    def test_overwrite(self, store):
+        store.save_dst(DstIndex.from_hourly(Epoch.from_calendar(2023, 1, 1), [-10.0]))
+        store.save_dst(DstIndex.from_hourly(Epoch.from_calendar(2023, 1, 1), [-99.0]))
+        assert store.load_dst().min_nt() == -99.0
+
+
+class TestCatalogNumbers:
+    def test_missing_returns_none(self, store):
+        assert store.load_catalog_numbers() is None
+
+    def test_round_trip_sorted_unique(self, store):
+        store.save_catalog_numbers([5, 1, 5, 3])
+        assert store.load_catalog_numbers() == [1, 3, 5]
+
+    def test_corrupt_cache_raises(self, store):
+        store.save_catalog_numbers([1])
+        (store.root / "catalog_numbers.txt").write_text("not-a-number\n")
+        with pytest.raises(IngestError):
+            store.load_catalog_numbers()
+
+
+class TestHistoryCache:
+    def test_missing_returns_none(self, store):
+        assert store.load_history(12345) is None
+
+    def test_round_trip(self, store):
+        catalog = small_catalog()
+        store.save_history(catalog.get(44713))
+        back = store.load_history(44713)
+        assert back is not None
+        assert len(back) == 5
+        assert back.altitude_series().values[0] == pytest.approx(550.0, abs=0.01)
+
+    def test_corrupt_tle_raises(self, store):
+        catalog = small_catalog()
+        store.save_history(catalog.get(44713))
+        path = store.root / "tles" / "44713.tle"
+        text = path.read_text()
+        path.write_text(text[:-2] + "9\n")  # break the final checksum
+        with pytest.raises(IngestError):
+            store.load_history(44713)
+
+    def test_full_catalog_round_trip(self, store):
+        catalog = small_catalog()
+        store.save_catalog(catalog)
+        back = store.load_catalog()
+        assert back is not None
+        assert back.catalog_numbers == [44713, 44714]
+        assert back.total_records() == 10
+
+    def test_load_catalog_skips_missing_histories(self, store):
+        store.save_catalog(small_catalog())
+        (store.root / "tles" / "44714.tle").unlink()
+        back = store.load_catalog()
+        assert back.catalog_numbers == [44713]
+
+
+class TestIngestIntegration:
+    def test_cache_feeds_pipeline(self, store, tmp_path):
+        """A cache hydrates the pipeline exactly like a live fetch."""
+        import numpy as np
+
+        from repro import CosmicDance
+
+        hours = np.arange(24 * 90)
+        dst = DstIndex.from_hourly(
+            Epoch.from_calendar(2023, 1, 1), -10.0 + 3.0 * np.sin(0.7 * hours)
+        )
+        catalog = SatelliteCatalog()
+        for day in range(90):
+            catalog.add(record(44713, float(day), 550.0))
+        store.save_dst(dst)
+        store.save_catalog(catalog)
+
+        cd = CosmicDance()
+        cd.ingest.add_dst(store.load_dst())
+        cd.ingest.add_elements(store.load_catalog().all_elements())
+        result = cd.run()
+        assert 44713 in result.cleaned

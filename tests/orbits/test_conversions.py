@@ -1,0 +1,64 @@
+"""Unit tests for mean motion / altitude conversions."""
+
+import pytest
+
+from repro.constants import EARTH_RADIUS_KM
+from repro.errors import PropagationError
+from repro.orbits import (
+    altitude_from_mean_motion,
+    mean_motion_from_altitude,
+    mean_motion_from_sma,
+    orbital_period_minutes,
+    sma_from_mean_motion,
+)
+from repro.orbits.conversions import orbital_speed_km_s
+
+
+class TestKeplerThirdLaw:
+    def test_starlink_altitude(self):
+        # Starlink operational mean motion ~15.05 rev/day -> ~550 km.
+        alt = altitude_from_mean_motion(15.05)
+        assert alt == pytest.approx(551.0, abs=5.0)
+
+    def test_geo_altitude(self):
+        # One rev per sidereal day ~ 1.0027 rev/day -> ~35,786 km.
+        alt = altitude_from_mean_motion(1.0027379)
+        assert alt == pytest.approx(35786.0, abs=30.0)
+
+    def test_round_trip(self):
+        for alt in (350.0, 550.0, 1200.0):
+            mm = mean_motion_from_altitude(alt)
+            assert altitude_from_mean_motion(mm) == pytest.approx(alt, abs=1e-9)
+
+    def test_sma_round_trip(self):
+        sma = 6928.0
+        assert sma_from_mean_motion(mean_motion_from_sma(sma)) == pytest.approx(sma)
+
+    def test_higher_orbit_slower(self):
+        assert mean_motion_from_altitude(600.0) < mean_motion_from_altitude(500.0)
+
+    def test_rejects_nonpositive_mean_motion(self):
+        with pytest.raises(PropagationError):
+            sma_from_mean_motion(0.0)
+
+    def test_rejects_impossible_altitude(self):
+        with pytest.raises(PropagationError):
+            mean_motion_from_altitude(-2 * EARTH_RADIUS_KM)
+
+
+class TestDerivedQuantities:
+    def test_period_of_starlink(self):
+        # The paper: ~100 min per revolution at ~550 km.
+        period = orbital_period_minutes(mean_motion_from_altitude(550.0))
+        assert period == pytest.approx(95.6, abs=1.0)
+
+    def test_period_rejects_nonpositive(self):
+        with pytest.raises(PropagationError):
+            orbital_period_minutes(-1.0)
+
+    def test_orbital_speed_leo(self):
+        speed = orbital_speed_km_s(EARTH_RADIUS_KM + 550.0)
+        assert speed == pytest.approx(7.59, abs=0.05)
+
+    def test_speed_decreases_with_altitude(self):
+        assert orbital_speed_km_s(7000.0) > orbital_speed_km_s(8000.0)

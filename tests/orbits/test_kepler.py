@@ -1,0 +1,73 @@
+"""Unit tests for anomaly conversions and the Kepler solver."""
+
+import math
+
+import pytest
+
+from repro.errors import PropagationError
+from repro.orbits import (
+    eccentric_from_mean,
+    eccentric_from_true,
+    mean_from_eccentric,
+    mean_from_true,
+    true_from_eccentric,
+    true_from_mean,
+)
+
+
+class TestKeplerEquation:
+    def test_circular_orbit_identity(self):
+        # For e=0 all anomalies coincide.
+        m = 1.234
+        assert eccentric_from_mean(m, 0.0) == pytest.approx(m)
+        assert true_from_mean(m, 0.0) == pytest.approx(m)
+
+    def test_solver_satisfies_equation(self):
+        m, e = 2.5, 0.3
+        big_e = eccentric_from_mean(m, e)
+        assert big_e - e * math.sin(big_e) == pytest.approx(m, abs=1e-10)
+
+    def test_high_eccentricity_converges(self):
+        big_e = eccentric_from_mean(0.1, 0.95)
+        assert math.isfinite(big_e)
+        assert big_e - 0.95 * math.sin(big_e) == pytest.approx(0.1, abs=1e-9)
+
+    def test_rejects_hyperbolic(self):
+        with pytest.raises(PropagationError):
+            eccentric_from_mean(1.0, 1.1)
+
+    def test_rejects_negative_eccentricity(self):
+        with pytest.raises(PropagationError):
+            eccentric_from_mean(1.0, -0.1)
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize("e", [0.0, 0.001, 0.1, 0.7])
+    @pytest.mark.parametrize("anomaly", [0.0, 0.5, math.pi, 4.0, 6.0])
+    def test_mean_eccentric_round_trip(self, e, anomaly):
+        back = mean_from_eccentric(eccentric_from_mean(anomaly, e), e)
+        assert back == pytest.approx(anomaly % (2 * math.pi), abs=1e-9)
+
+    @pytest.mark.parametrize("e", [0.0, 0.01, 0.3])
+    @pytest.mark.parametrize("anomaly", [0.1, 2.0, 5.5])
+    def test_true_eccentric_round_trip(self, e, anomaly):
+        back = true_from_eccentric(eccentric_from_true(anomaly, e), e)
+        assert back == pytest.approx(anomaly, abs=1e-9)
+
+    def test_true_mean_round_trip(self):
+        nu = mean_from_true(true_from_mean(1.0, 0.2), 0.2)
+        assert nu == pytest.approx(1.0, abs=1e-9)
+
+    def test_apoapsis_anomalies_coincide(self):
+        # At apoapsis (M = pi) all anomalies equal pi for any e.
+        for e in (0.1, 0.5):
+            assert true_from_mean(math.pi, e) == pytest.approx(math.pi, abs=1e-9)
+
+
+class TestPhysicalBehaviour:
+    def test_true_leads_mean_before_apoapsis(self):
+        # Between periapsis and apoapsis the true anomaly runs ahead.
+        assert true_from_mean(1.0, 0.3) > 1.0
+
+    def test_true_lags_mean_after_apoapsis(self):
+        assert true_from_mean(5.0, 0.3) < 5.0

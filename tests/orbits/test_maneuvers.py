@@ -1,0 +1,88 @@
+"""Unit tests for maneuver delta-v budgets."""
+
+import pytest
+
+from repro.atmosphere.density import density_quiet_kg_m3
+from repro.errors import SimulationError
+from repro.orbits.maneuvers import (
+    circular_velocity_m_s,
+    drag_makeup_delta_v_m_s_per_day,
+    hohmann_delta_v_m_s,
+    storm_extra_delta_v_m_s,
+)
+
+
+class TestCircularVelocity:
+    def test_leo_velocity(self):
+        assert circular_velocity_m_s(550.0) == pytest.approx(7585.0, abs=20.0)
+
+    def test_decreases_with_altitude(self):
+        assert circular_velocity_m_s(350.0) > circular_velocity_m_s(550.0)
+
+
+class TestHohmann:
+    def test_staging_to_operational(self):
+        # 350 -> 550 km raise costs ~110 m/s.
+        dv = hohmann_delta_v_m_s(350.0, 550.0)
+        assert dv == pytest.approx(111.0, abs=10.0)
+
+    def test_direction_independent(self):
+        assert hohmann_delta_v_m_s(350.0, 550.0) == pytest.approx(
+            hohmann_delta_v_m_s(550.0, 350.0)
+        )
+
+    def test_zero_for_same_orbit(self):
+        assert hohmann_delta_v_m_s(550.0, 550.0) == pytest.approx(0.0, abs=1e-9)
+
+    def test_monotone_in_gap(self):
+        assert hohmann_delta_v_m_s(350.0, 600.0) > hohmann_delta_v_m_s(350.0, 550.0)
+
+
+class TestDragMakeup:
+    def test_quiet_budget_is_small(self):
+        daily = drag_makeup_delta_v_m_s_per_day(550.0, density_quiet_kg_m3(550.0))
+        # ~0.1 m/s/day at 550 km under the solar-max profile: tens of
+        # m/s per year, well within an ion thruster's budget.
+        assert 0.01 < daily < 0.3
+
+    def test_staging_budget_much_larger(self):
+        at_550 = drag_makeup_delta_v_m_s_per_day(550.0, density_quiet_kg_m3(550.0))
+        at_350 = drag_makeup_delta_v_m_s_per_day(350.0, density_quiet_kg_m3(350.0))
+        assert at_350 > 10.0 * at_550
+
+    def test_scales_with_density(self):
+        rho = density_quiet_kg_m3(550.0)
+        assert drag_makeup_delta_v_m_s_per_day(550.0, 5 * rho) == pytest.approx(
+            5 * drag_makeup_delta_v_m_s_per_day(550.0, rho)
+        )
+
+    def test_rejects_negative_density(self):
+        with pytest.raises(SimulationError):
+            drag_makeup_delta_v_m_s_per_day(550.0, -1.0)
+
+
+class TestStormExtra:
+    def test_may_2024_class_storm_budget(self):
+        # A 5x enhancement for 2 days at 550 km costs well under the
+        # ~110 m/s a full orbit raise takes — consistent with Starlink
+        # riding out the super-storm on propulsion alone.
+        extra = storm_extra_delta_v_m_s(
+            550.0, density_quiet_kg_m3(550.0), enhancement=5.0, storm_days=2.0
+        )
+        assert 0.0 < extra < 10.0
+
+    def test_zero_duration_costs_nothing(self):
+        assert storm_extra_delta_v_m_s(
+            550.0, density_quiet_kg_m3(550.0), enhancement=5.0, storm_days=0.0
+        ) == 0.0
+
+    def test_unity_enhancement_costs_nothing(self):
+        assert storm_extra_delta_v_m_s(
+            550.0, density_quiet_kg_m3(550.0), enhancement=1.0, storm_days=3.0
+        ) == pytest.approx(0.0)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(SimulationError):
+            storm_extra_delta_v_m_s(550.0, 1e-13, enhancement=0.5, storm_days=1.0)
+        with pytest.raises(SimulationError):
+            storm_extra_delta_v_m_s(550.0, 1e-13, enhancement=2.0, storm_days=-1.0)

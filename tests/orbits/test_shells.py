@@ -1,0 +1,58 @@
+"""Unit tests for constellation shell definitions."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.orbits import STARLINK_SHELLS, Shell, shell_for_altitude
+from repro.orbits.shells import STAGING_ALTITUDE_KM, shells_crossed
+
+
+class TestShell:
+    def test_satellite_count(self):
+        shell = Shell("s", 550.0, 53.0, 72, 22)
+        assert shell.satellite_count == 1584
+
+    def test_contains_altitude_within_half_width(self):
+        shell = Shell("s", 550.0, 53.0, 1, 1)
+        assert shell.contains_altitude(552.0)
+        assert not shell.contains_altitude(553.0)
+
+    def test_starlink_shell_1_parameters(self):
+        # FCC filing: 550 km / 53 degrees / 72x22.
+        s1 = STARLINK_SHELLS[0]
+        assert s1.altitude_km == 550.0
+        assert s1.inclination_deg == 53.0
+        assert s1.satellite_count == 1584
+
+    def test_staging_altitude_matches_paper(self):
+        assert STAGING_ALTITUDE_KM == pytest.approx(350.0)
+
+
+class TestShellLookup:
+    def test_finds_shell(self):
+        assert shell_for_altitude(550.5) is STARLINK_SHELLS[0]
+
+    def test_gap_between_shells(self):
+        # 545 km sits between shell-1 (550) and shell-2 (540).
+        assert shell_for_altitude(545.0) is None
+
+    def test_custom_half_width(self):
+        assert shell_for_altitude(545.0, half_width_km=6.0) is not None
+
+
+class TestShellsCrossed:
+    def test_decay_through_shells(self):
+        # Decaying from 555 to 535 trespasses both 550 and 540 shells.
+        crossed = shells_crossed(555.0, 535.0)
+        names = {s.name for s in crossed}
+        assert {"shell-1", "shell-2"} <= names
+
+    def test_no_crossing(self):
+        assert shells_crossed(551.0, 550.5) == []
+
+    def test_direction_independent(self):
+        assert shells_crossed(535.0, 555.0) == shells_crossed(555.0, 535.0)
+
+    def test_rejects_empty_shell_set(self):
+        with pytest.raises(SimulationError):
+            shells_crossed(555.0, 535.0, tuple())

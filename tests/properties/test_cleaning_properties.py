@@ -1,0 +1,78 @@
+"""Property-based tests for the cleaning stage."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import clean_history
+from repro.core.config import CosmicDanceConfig
+from repro.tle.catalog import SatelliteHistory
+
+from tests.core.helpers import record
+
+
+@st.composite
+def histories(draw):
+    n = draw(st.integers(1, 60))
+    days = sorted(
+        draw(
+            st.lists(
+                st.floats(0.0, 400.0, allow_nan=False),
+                min_size=n,
+                max_size=n,
+                unique=True,
+            )
+        )
+    )
+    history = SatelliteHistory(1)
+    for day in days:
+        altitude = draw(
+            st.floats(min_value=200.0, max_value=620.0, allow_nan=False)
+            | st.floats(min_value=700.0, max_value=40000.0, allow_nan=False)
+        )
+        history.add(record(1, day, altitude))
+    return history
+
+
+class TestCleaningInvariants:
+    @given(histories())
+    @settings(max_examples=100)
+    def test_counts_reconcile(self, history):
+        cleaned = clean_history(history)
+        r = cleaned.report
+        assert r.total_records == len(history)
+        assert r.gross_errors + r.orbit_raising + r.kept == r.total_records
+        assert len(cleaned) == r.kept
+
+    @given(histories())
+    @settings(max_examples=100)
+    def test_kept_records_in_valid_range(self, history):
+        config = CosmicDanceConfig()
+        cleaned = clean_history(history, config)
+        for e in cleaned.elements:
+            assert config.min_valid_altitude_km <= e.altitude_km <= config.max_valid_altitude_km
+
+    @given(histories())
+    @settings(max_examples=100)
+    def test_kept_records_epoch_ordered(self, history):
+        cleaned = clean_history(history)
+        epochs = [e.epoch.unix for e in cleaned.elements]
+        assert epochs == sorted(epochs)
+
+    @given(histories())
+    @settings(max_examples=50)
+    def test_recleaning_only_trims_a_prefix(self, history):
+        """Cleaning cleaned data finds no gross errors and can only
+        trim further from the front (the raising-end estimate depends
+        on the record-tail median, so it may move, but never backward).
+        """
+        once = clean_history(history)
+        if not len(once):
+            return
+        rebuilt = SatelliteHistory(1)
+        for e in once.elements:
+            rebuilt.add(e)
+        twice = clean_history(rebuilt)
+        assert twice.report.gross_errors == 0
+        once_epochs = [e.epoch.unix for e in once.elements]
+        twice_epochs = [e.epoch.unix for e in twice.elements]
+        assert twice_epochs == once_epochs[len(once_epochs) - len(twice_epochs):]

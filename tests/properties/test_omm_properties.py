@@ -1,0 +1,58 @@
+"""Property-based tests: OMM JSON round-trips every element set."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.time import Epoch
+from repro.tle import MeanElements
+from repro.tle.omm import elements_from_omm, format_omm_json, omm_dict, parse_omm_json
+
+
+@st.composite
+def element_sets(draw):
+    epoch_unix = draw(
+        st.floats(
+            min_value=Epoch.from_calendar(1970, 1, 1).unix,
+            max_value=Epoch.from_calendar(2050, 12, 31).unix,
+            allow_nan=False,
+        )
+    )
+    return MeanElements(
+        catalog_number=draw(st.integers(1, 339999)),
+        epoch=Epoch.from_unix(epoch_unix),
+        inclination_deg=draw(st.floats(0.0, 180.0, allow_nan=False)),
+        raan_deg=draw(st.floats(0.0, 359.9999, allow_nan=False)),
+        eccentricity=draw(st.floats(0.0, 0.99, allow_nan=False)),
+        argp_deg=draw(st.floats(0.0, 359.9999, allow_nan=False)),
+        mean_anomaly_deg=draw(st.floats(0.0, 359.9999, allow_nan=False)),
+        mean_motion_rev_day=draw(st.floats(0.1, 17.0, allow_nan=False)),
+        bstar=draw(st.floats(-1.0, 1.0, allow_nan=False)),
+        ndot_over_2=draw(st.floats(-1.0, 1.0, allow_nan=False)),
+        element_number=draw(st.integers(0, 9999)),
+        rev_number=draw(st.integers(0, 99999)),
+    )
+
+
+class TestOmmRoundTripProperties:
+    @given(element_sets())
+    @settings(max_examples=150)
+    def test_dict_round_trip_exact_floats(self, elements):
+        """Unlike TLE's fixed columns, OMM carries full float precision."""
+        back = elements_from_omm(omm_dict(elements))
+        assert back.catalog_number == elements.catalog_number
+        assert back.mean_motion_rev_day == elements.mean_motion_rev_day
+        assert back.eccentricity == elements.eccentricity
+        assert back.inclination_deg == elements.inclination_deg
+        assert back.raan_deg == elements.raan_deg
+        assert back.bstar == elements.bstar
+        # Epoch passes through ISO text (second resolution).
+        assert abs(back.epoch.unix - elements.epoch.unix) <= 1.0
+
+    @given(st.lists(element_sets(), max_size=5))
+    @settings(max_examples=50)
+    def test_json_array_round_trip(self, elements_list):
+        parsed = parse_omm_json(format_omm_json(elements_list))
+        assert len(parsed) == len(elements_list)
+        for original, back in zip(elements_list, parsed):
+            assert back.catalog_number == original.catalog_number
+            assert back.mean_motion_rev_day == original.mean_motion_rev_day

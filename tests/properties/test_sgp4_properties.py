@@ -1,0 +1,77 @@
+"""Property-based tests for SGP4 physical invariants."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sgp4 import SGP4, WGS72
+from repro.time import Epoch
+from repro.tle.elements import MeanElements
+
+
+@st.composite
+def leo_elements(draw):
+    """Well-behaved LEO element sets (low drag, modest eccentricity)."""
+    altitude = draw(st.floats(min_value=300.0, max_value=1500.0))
+    from repro.orbits.conversions import mean_motion_from_altitude
+
+    return MeanElements(
+        catalog_number=draw(st.integers(1, 99999)),
+        epoch=Epoch.from_calendar(2023, 1, 1),
+        inclination_deg=draw(st.floats(0.0, 120.0)),
+        raan_deg=draw(st.floats(0.0, 359.99)),
+        eccentricity=draw(st.floats(0.0, 0.02)),
+        argp_deg=draw(st.floats(0.0, 359.99)),
+        mean_anomaly_deg=draw(st.floats(0.0, 359.99)),
+        mean_motion_rev_day=mean_motion_from_altitude(altitude),
+        bstar=draw(st.floats(0.0, 5e-4)),
+    )
+
+
+class TestSgp4Invariants:
+    @given(leo_elements(), st.floats(0.0, 1440.0))
+    @settings(max_examples=150, deadline=None)
+    def test_radius_stays_near_orbit(self, elements, tsince):
+        result = SGP4(elements).propagate_minutes(tsince)
+        perigee_r = elements.perigee_altitude_km + WGS72.radius_km
+        apogee_r = elements.apogee_altitude_km + WGS72.radius_km
+        # Osculating radius can swing ~0.6% around the mean ellipse
+        # from J2 periodics alone.
+        assert perigee_r * 0.99 <= result.radius_km <= apogee_r * 1.01
+
+    @given(leo_elements(), st.floats(0.0, 1440.0))
+    @settings(max_examples=100, deadline=None)
+    def test_speed_is_orbital(self, elements, tsince):
+        result = SGP4(elements).propagate_minutes(tsince)
+        assert 5.5 < result.speed_km_s < 9.0
+
+    @given(leo_elements(), st.floats(0.0, 1440.0))
+    @settings(max_examples=100, deadline=None)
+    def test_z_bounded_by_inclination(self, elements, tsince):
+        result = SGP4(elements).propagate_minutes(tsince)
+        effective_incl = min(
+            math.radians(elements.inclination_deg),
+            math.pi - math.radians(elements.inclination_deg),
+        )
+        bound = result.radius_km * math.sin(effective_incl)
+        assert abs(result.position_km[2]) <= bound * 1.001 + 15.0
+
+    @given(leo_elements())
+    @settings(max_examples=100, deadline=None)
+    def test_specific_energy_matches_sma(self, elements):
+        """v^2/2 - mu/r must equal -mu/(2a) (vis-viva), within the
+        tolerance of mean-vs-osculating element differences."""
+        result = SGP4(elements).propagate_minutes(0.0)
+        mu = WGS72.mu
+        energy = 0.5 * result.speed_km_s**2 - mu / result.radius_km
+        expected = -mu / (2.0 * elements.sma_km)
+        assert energy == pytest.approx(expected, rel=0.01)
+
+    @given(leo_elements())
+    @settings(max_examples=50, deadline=None)
+    def test_determinism(self, elements):
+        a = SGP4(elements).propagate_minutes(123.0)
+        b = SGP4(elements).propagate_minutes(123.0)
+        assert a.position_km == b.position_km

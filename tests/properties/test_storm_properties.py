@@ -1,0 +1,82 @@
+"""Property-based tests for storm-episode detection invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spaceweather import DstIndex, StormLevel, classify_dst, detect_episodes
+from repro.spaceweather.storms import episodes_by_level
+from repro.time import Epoch
+
+START = Epoch.from_calendar(2023, 1, 1)
+
+dst_values = st.lists(
+    st.floats(min_value=-500.0, max_value=30.0, allow_nan=False)
+    | st.just(float("nan")),
+    min_size=0,
+    max_size=200,
+)
+thresholds = st.floats(min_value=-300.0, max_value=-40.0, allow_nan=False)
+
+
+def make_dst(values):
+    return DstIndex.from_hourly(START, values)
+
+
+class TestEpisodeInvariants:
+    @given(dst_values, thresholds)
+    def test_episodes_disjoint_and_ordered(self, values, threshold):
+        episodes = detect_episodes(make_dst(values), threshold)
+        for a, b in zip(episodes, episodes[1:]):
+            assert a.end.unix <= b.start.unix
+
+    @given(dst_values, thresholds)
+    def test_episode_peaks_below_threshold(self, values, threshold):
+        for episode in detect_episodes(make_dst(values), threshold):
+            assert episode.peak_nt <= threshold
+
+    @given(dst_values, thresholds)
+    def test_coverage_of_storm_hours(self, values, threshold):
+        """Every hour at/below the threshold falls inside some episode."""
+        dst = make_dst(values)
+        episodes = detect_episodes(dst, threshold)
+        # Epoch round-trips through JD floats; allow millisecond slack.
+        for t, v in dst.series:
+            if np.isfinite(v) and v <= threshold:
+                assert any(
+                    e.start.unix - 1e-3 <= t < e.end.unix + 1e-3 for e in episodes
+                ), f"hour {t} ({v} nT) not covered"
+
+    @given(dst_values, thresholds)
+    def test_durations_positive_and_consistent(self, values, threshold):
+        for e in detect_episodes(make_dst(values), threshold):
+            assert e.duration_hours >= 1
+            span_hours = (e.end.unix - e.start.unix) / 3600.0
+            assert abs(span_hours - e.duration_hours) < 1e-6
+
+    @given(dst_values, thresholds, st.integers(0, 5))
+    def test_merging_never_increases_count(self, values, threshold, gap):
+        dst = make_dst(values)
+        plain = detect_episodes(dst, threshold)
+        merged = detect_episodes(dst, threshold, merge_gap_hours=gap)
+        assert len(merged) <= len(plain)
+
+
+class TestBandEpisodes:
+    @given(dst_values)
+    @settings(max_examples=100)
+    def test_band_hours_match_classification(self, values):
+        """Per-level episode durations sum to the level's hour count."""
+        dst = make_dst(values)
+        by_level = episodes_by_level(dst)
+        for level, episodes in by_level.items():
+            total = sum(e.duration_hours for e in episodes)
+            assert total == dst.hours_at_level(level)
+
+    @given(dst_values)
+    @settings(max_examples=100)
+    def test_episode_peak_classifies_to_its_level(self, values):
+        by_level = episodes_by_level(make_dst(values))
+        for level, episodes in by_level.items():
+            for e in episodes:
+                assert classify_dst(e.peak_nt) is level

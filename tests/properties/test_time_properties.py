@@ -1,0 +1,73 @@
+"""Property-based tests for time conversions."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.time import Epoch, julian
+
+# Years with a 4-year margin inside the TLE-representable window.
+years = st.integers(min_value=1961, max_value=2052)
+months = st.integers(min_value=1, max_value=12)
+day_fraction = st.floats(min_value=0.0, max_value=0.999999, allow_nan=False)
+
+
+@st.composite
+def calendar_dates(draw):
+    year = draw(years)
+    month = draw(months)
+    day = draw(st.integers(1, julian.days_in_month(year, month)))
+    hour = draw(st.integers(0, 23))
+    minute = draw(st.integers(0, 59))
+    second = draw(st.floats(min_value=0.0, max_value=59.9, allow_nan=False))
+    return year, month, day, hour, minute, second
+
+
+class TestJulianRoundTrips:
+    @given(calendar_dates())
+    def test_calendar_jd_calendar(self, date):
+        year, month, day, hour, minute, second = date
+        jd = julian.calendar_to_jd(year, month, day, hour, minute, second)
+        back = julian.jd_to_calendar(jd)
+        assert back[:3] == (year, month, day)
+        got_seconds = back[3] * 3600 + back[4] * 60 + back[5]
+        want_seconds = hour * 3600 + minute * 60 + second
+        assert abs(got_seconds - want_seconds) < 0.01
+
+    @given(st.floats(min_value=0.0, max_value=2.5e9, allow_nan=False))
+    def test_unix_jd_unix(self, unix):
+        assert abs(julian.jd_to_unix(julian.unix_to_jd(unix)) - unix) < 0.005
+
+    @given(calendar_dates())
+    def test_jd_monotone_in_time(self, date):
+        year, month, day, hour, minute, second = date
+        jd = julian.calendar_to_jd(year, month, day, hour, minute, second)
+        later = julian.calendar_to_jd(year, month, day, hour, minute, second) + 0.25
+        assert later > jd
+
+
+class TestDayOfYearRoundTrip:
+    @given(years, st.integers(1, 365))
+    def test_doy_inverse(self, year, doy):
+        month, day = julian.year_doy_to_month_day(year, doy)
+        assert julian.day_of_year(year, month, day) == doy
+
+
+class TestTleEpochRoundTrip:
+    @given(calendar_dates())
+    @settings(max_examples=200)
+    def test_epoch_tle_epoch(self, date):
+        epoch = Epoch.from_calendar(*date)
+        year2, doy = epoch.to_tle_epoch()
+        back = Epoch.from_tle_epoch(year2, doy)
+        assert abs(back.unix - epoch.unix) < 0.01
+
+    @given(calendar_dates(), st.floats(-1000.0, 1000.0, allow_nan=False))
+    def test_add_days_inverse(self, date, days):
+        epoch = Epoch.from_calendar(*date)
+        assert abs(epoch.add_days(days).add_days(-days).unix - epoch.unix) < 0.01
+
+    @given(calendar_dates(), st.floats(-10000.0, 10000.0, allow_nan=False))
+    def test_days_since_consistent(self, date, hours):
+        epoch = Epoch.from_calendar(*date)
+        other = epoch.add_hours(hours)
+        assert abs(other.hours_since(epoch) - hours) < 1e-3

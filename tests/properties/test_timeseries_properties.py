@@ -1,0 +1,116 @@
+"""Property-based tests for TimeSeries invariants."""
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.timeseries import TimeSeries, align_to, empirical_cdf, merge_series
+from repro.timeseries.resample import resample_regular
+
+
+@st.composite
+def series(draw, max_len=50):
+    n = draw(st.integers(0, max_len))
+    times = sorted(
+        draw(
+            st.lists(
+                st.floats(0.0, 1e6, allow_nan=False),
+                min_size=n,
+                max_size=n,
+                unique=True,
+            )
+        )
+    )
+    values = draw(
+        st.lists(
+            st.floats(-1e6, 1e6, allow_nan=False) | st.just(float("nan")),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    return TimeSeries(times, values)
+
+
+class TestSeriesInvariants:
+    @given(series())
+    def test_times_strictly_increasing(self, s):
+        if len(s) > 1:
+            assert np.all(np.diff(s.times) > 0)
+
+    @given(series())
+    def test_slice_preserves_order(self, s):
+        if len(s) < 2:
+            return
+        mid = float(s.times[len(s) // 2])
+        sub = s.slice(None, mid)
+        assert np.all(sub.times < mid)
+        rest = s.slice(mid, None)
+        assert len(sub) + len(rest) == len(s)
+
+    @given(series())
+    def test_dropna_removes_all_nans(self, s):
+        assert np.isfinite(s.dropna().values).all()
+
+    @given(series(), series())
+    def test_merge_is_union(self, a, b):
+        merged = merge_series(a, b)
+        assert len(merged) == len(set(a.times.tolist()) | set(b.times.tolist()))
+        if len(merged) > 1:
+            assert np.all(np.diff(merged.times) > 0)
+
+    @given(series())
+    def test_merge_idempotent(self, s):
+        assert merge_series(s, s) == s
+
+    @given(series())
+    def test_align_to_own_times_is_identity_for_finite(self, s):
+        if not len(s):
+            return
+        aligned = align_to(s, s.times)
+        both = np.isfinite(s.values)
+        assert np.array_equal(aligned.values[both], s.values[both])
+
+
+class TestResampleInvariants:
+    @given(series(), st.floats(1.0, 1e5, allow_nan=False))
+    def test_regular_grid(self, s, step):
+        r = resample_regular(s, step)
+        if len(r) > 1:
+            steps = np.diff(r.times)
+            assert np.allclose(steps, step)
+
+    @given(series(), st.floats(1.0, 1e5, allow_nan=False))
+    def test_grid_spans_source(self, s, step):
+        r = resample_regular(s, step)
+        if len(s):
+            assert r.times[0] <= s.times[0]
+            assert r.times[-1] <= s.times[-1] + step
+
+
+class TestCdfInvariants:
+    @given(
+        arrays(
+            np.float64,
+            st.integers(1, 100),
+            elements=st.floats(-1e6, 1e6, allow_nan=False),
+        )
+    )
+    def test_cdf_monotone(self, data):
+        cdf = empirical_cdf(data)
+        assert np.all(np.diff(cdf.xs) >= 0)
+        assert np.all(np.diff(cdf.ps) >= 0)
+        assert cdf.ps[-1] == 1.0
+
+    @given(
+        arrays(
+            np.float64,
+            st.integers(1, 100),
+            elements=st.floats(-1e6, 1e6, allow_nan=False),
+        ),
+        st.floats(0.0, 1.0, allow_nan=False),
+    )
+    def test_quantile_within_data_range(self, data, p):
+        cdf = empirical_cdf(data)
+        q = cdf.quantile(p)
+        assert data.min() <= q <= data.max()

@@ -1,0 +1,68 @@
+"""Property-based tests: the TLE formatter inverts the parser for every
+representable element set."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.time import Epoch
+from repro.tle import MeanElements, format_tle, parse_tle
+from repro.tle.fields import verify_checksum
+
+
+@st.composite
+def element_sets(draw):
+    epoch_unix = draw(
+        st.floats(
+            min_value=Epoch.from_calendar(1960, 1, 1).unix,
+            max_value=Epoch.from_calendar(2055, 12, 31).unix,
+            allow_nan=False,
+        )
+    )
+    return MeanElements(
+        catalog_number=draw(st.integers(1, 339999)),
+        epoch=Epoch.from_unix(epoch_unix),
+        inclination_deg=draw(st.floats(0.0, 180.0, allow_nan=False)),
+        raan_deg=draw(st.floats(0.0, 359.9999, allow_nan=False)),
+        eccentricity=draw(st.floats(0.0, 0.9, allow_nan=False)),
+        argp_deg=draw(st.floats(0.0, 359.9999, allow_nan=False)),
+        mean_anomaly_deg=draw(st.floats(0.0, 359.9999, allow_nan=False)),
+        mean_motion_rev_day=draw(st.floats(0.5, 17.0, allow_nan=False)),
+        bstar=draw(st.floats(-0.5, 0.5, allow_nan=False)),
+        ndot_over_2=draw(st.floats(-0.5, 0.5, allow_nan=False)),
+        nddot_over_6=draw(st.floats(-0.5, 0.5, allow_nan=False)),
+        intl_designator=draw(
+            st.text(alphabet="ABCDEFGHIJ0123456789", min_size=0, max_size=8)
+        ),
+        element_number=draw(st.integers(0, 9999)),
+        rev_number=draw(st.integers(0, 99999)),
+    )
+
+
+class TestTleRoundTrip:
+    @given(element_sets())
+    @settings(max_examples=300)
+    def test_format_parse_preserves_fields(self, elements):
+        line1, line2 = format_tle(elements)
+        assert len(line1) == 69 and len(line2) == 69
+        assert verify_checksum(line1) and verify_checksum(line2)
+
+        parsed = parse_tle(line1, line2)
+        assert parsed.catalog_number == elements.catalog_number
+        assert abs(parsed.inclination_deg - elements.inclination_deg % 360.0) < 1e-4
+        assert abs(parsed.raan_deg - elements.raan_deg) < 1e-4
+        assert abs(parsed.eccentricity - elements.eccentricity) < 1e-7
+        assert abs(parsed.argp_deg - elements.argp_deg) < 1e-4
+        assert abs(parsed.mean_anomaly_deg - elements.mean_anomaly_deg) < 1e-4
+        assert abs(parsed.mean_motion_rev_day - elements.mean_motion_rev_day) < 1e-7
+        # Implied-decimal fields carry ~5 significant digits.
+        assert abs(parsed.bstar - elements.bstar) <= max(1e-9, abs(elements.bstar) * 1e-4)
+        assert abs(parsed.epoch.unix - elements.epoch.unix) < 0.01
+        assert parsed.element_number == elements.element_number
+        assert parsed.rev_number == elements.rev_number
+
+    @given(element_sets())
+    @settings(max_examples=100)
+    def test_double_round_trip_stable(self, elements):
+        once = parse_tle(*format_tle(elements))
+        twice = parse_tle(*format_tle(once))
+        assert format_tle(once) == format_tle(twice)

@@ -1,0 +1,98 @@
+"""Property-based tests for trigger scheduling and trespass invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.triggers import TriggerPolicy, schedule_campaigns
+from repro.spaceweather.storms import StormEpisode
+from repro.time import Epoch
+
+START = Epoch.from_calendar(2023, 1, 1)
+
+
+@st.composite
+def episode_lists(draw):
+    count = draw(st.integers(0, 20))
+    episodes = []
+    for _ in range(count):
+        day = draw(st.floats(0.0, 365.0, allow_nan=False))
+        hours = draw(st.integers(1, 48))
+        peak = draw(st.floats(-500.0, -20.0, allow_nan=False))
+        start = START.add_days(day)
+        episodes.append(
+            StormEpisode(
+                start=start,
+                end=start.add_hours(hours),
+                peak_nt=peak,
+                duration_hours=hours,
+            )
+        )
+    return episodes
+
+
+class TestSchedulingInvariants:
+    @given(episode_lists())
+    @settings(max_examples=150)
+    def test_campaigns_time_ordered_and_disjoint(self, episodes):
+        campaigns = schedule_campaigns(episodes)
+        for a, b in zip(campaigns, campaigns[1:]):
+            assert a.baseline_start.unix < b.baseline_start.unix
+            # Rate limiting/merging guarantees no overlapping campaigns.
+            assert a.active_end.unix <= b.baseline_start.unix + 1e-3
+
+    @given(episode_lists())
+    @settings(max_examples=100)
+    def test_every_deep_storm_covered(self, episodes):
+        """Every eligible storm falls inside some campaign's window."""
+        policy = TriggerPolicy()
+        campaigns = schedule_campaigns(episodes, policy)
+        for episode in episodes:
+            if episode.peak_nt > policy.min_peak_nt:
+                continue
+            assert any(
+                c.baseline_start.unix - 1e-3
+                <= episode.start.unix
+                <= c.active_end.unix + 1e-3
+                for c in campaigns
+            ), f"storm at {episode.start} uncovered"
+
+    @given(episode_lists())
+    @settings(max_examples=100)
+    def test_campaign_windows_well_formed(self, episodes):
+        for campaign in schedule_campaigns(episodes):
+            assert campaign.baseline_start.unix <= campaign.active_start.unix
+            assert campaign.active_start.unix < campaign.active_end.unix
+            assert 1 <= campaign.priority <= 4
+
+    @given(episode_lists())
+    @settings(max_examples=50)
+    def test_shallow_storms_never_trigger(self, episodes):
+        policy = TriggerPolicy(min_peak_nt=-100.0)
+        campaigns = schedule_campaigns(episodes, policy)
+        for campaign in campaigns:
+            assert campaign.trigger.peak_nt <= -100.0
+
+
+class TestTrespassInvariants:
+    @given(
+        st.lists(
+            st.floats(min_value=450.0, max_value=600.0, allow_nan=False),
+            min_size=2,
+            max_size=60,
+        )
+    )
+    @settings(max_examples=100)
+    def test_events_disjoint_and_ordered(self, altitudes):
+        from repro.core import clean_history
+        from repro.core.conjunction import detect_trespasses
+
+        from tests.core.helpers import history_from_profile
+
+        profile = [(float(i), a) for i, a in enumerate(altitudes)]
+        cleaned = clean_history(history_from_profile(1, profile))
+        events = detect_trespasses(cleaned)
+        for a, b in zip(events, events[1:]):
+            assert a.end.unix <= b.start.unix + 1e-3
+        for event in events:
+            assert event.duration_hours >= 0.0
+            assert event.shell is not None

@@ -1,0 +1,58 @@
+"""Property-based tests for the WDC Kyoto codec."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spaceweather import DstIndex
+from repro.spaceweather.wdc import format_wdc, parse_wdc
+from repro.time import Epoch
+
+dst_blocks = st.lists(
+    st.one_of(
+        st.integers(min_value=-999, max_value=200).map(float),
+        st.just(float("nan")),
+    ),
+    min_size=1,
+    max_size=24 * 7,
+)
+
+start_days = st.integers(min_value=0, max_value=3650)
+
+
+class TestWdcRoundTrip:
+    @given(dst_blocks, start_days)
+    @settings(max_examples=150)
+    def test_format_parse_identity(self, values, day_offset):
+        start = Epoch.from_calendar(2015, 1, 1).add_days(float(day_offset))
+        dst = DstIndex.from_hourly(start, values)
+        back = parse_wdc(format_wdc(dst))
+
+        # The round trip pads to whole days; the original samples must
+        # survive exactly (WDC stores integers, inputs here are ints).
+        for t, v in dst.series:
+            got = back.series.value_at(t + 1.0, max_age_s=3600.0)
+            if np.isnan(v):
+                assert np.isnan(got)
+            else:
+                assert got == v
+
+    @given(dst_blocks)
+    @settings(max_examples=50)
+    def test_padding_is_missing(self, values):
+        start = Epoch.from_calendar(2020, 6, 15)
+        dst = DstIndex.from_hourly(start, values)
+        back = parse_wdc(format_wdc(dst))
+        # Total hours are whole days; extra hours are all missing.
+        assert len(back) % 24 == 0
+        original_finite = int(np.isfinite(dst.series.values).sum())
+        back_finite = int(np.isfinite(back.series.values).sum())
+        assert back_finite == original_finite
+
+    @given(dst_blocks)
+    @settings(max_examples=50)
+    def test_record_lengths(self, values):
+        dst = DstIndex.from_hourly(Epoch.from_calendar(2020, 6, 15), values)
+        for line in format_wdc(dst).splitlines():
+            assert len(line) == 120
+            assert line.startswith("DST")

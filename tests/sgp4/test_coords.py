@@ -1,0 +1,62 @@
+"""Unit tests for TEME/ECEF/geodetic conversions."""
+
+import math
+
+import pytest
+
+from repro.constants import WGS84_RADIUS_KM
+from repro.sgp4.coords import ecef_to_geodetic, teme_to_ecef, teme_to_geodetic
+from repro.time import Epoch
+
+
+class TestTemeToEcef:
+    def test_rotation_preserves_norm(self):
+        when = Epoch.from_calendar(2023, 6, 1, 12)
+        p = (7000.0, -1000.0, 500.0)
+        rotated = teme_to_ecef(p, when)
+        assert math.dist((0, 0, 0), rotated) == pytest.approx(
+            math.dist((0, 0, 0), p)
+        )
+
+    def test_z_unchanged(self):
+        when = Epoch.from_calendar(2023, 6, 1)
+        assert teme_to_ecef((7000.0, 0.0, 1234.0), when)[2] == 1234.0
+
+
+class TestEcefToGeodetic:
+    def test_equator_point(self):
+        lat, lon, h = ecef_to_geodetic((WGS84_RADIUS_KM + 550.0, 0.0, 0.0))
+        assert lat == pytest.approx(0.0, abs=1e-9)
+        assert lon == pytest.approx(0.0, abs=1e-9)
+        assert h == pytest.approx(550.0, abs=1e-6)
+
+    def test_longitude_90(self):
+        _, lon, _ = ecef_to_geodetic((0.0, 7000.0, 0.0))
+        assert lon == pytest.approx(90.0)
+
+    def test_north_pole(self):
+        lat, _, h = ecef_to_geodetic((0.0, 0.0, 6900.0))
+        assert lat == pytest.approx(90.0)
+        # Polar radius is ~6356.75 km.
+        assert h == pytest.approx(6900.0 - 6356.752, abs=0.01)
+
+    def test_mid_latitude_height_reasonable(self):
+        # A point at 45 degrees geocentric, LEO distance.
+        r = WGS84_RADIUS_KM + 550.0
+        p = (r * math.cos(math.radians(45)), 0.0, r * math.sin(math.radians(45)))
+        lat, _, h = ecef_to_geodetic(p)
+        assert 44.0 < lat < 46.5
+        assert 540.0 < h < 575.0
+
+    def test_southern_hemisphere(self):
+        lat, _, _ = ecef_to_geodetic((6000.0, 0.0, -3000.0))
+        assert lat < 0
+
+
+class TestTemeToGeodetic:
+    def test_pipeline(self):
+        when = Epoch.from_calendar(2023, 6, 1, 6)
+        lat, lon, h = teme_to_geodetic((6928.0, 0.0, 0.0), when)
+        assert lat == pytest.approx(0.0, abs=1e-6)
+        assert -180.0 <= lon <= 180.0
+        assert h == pytest.approx(6928.0 - WGS84_RADIUS_KM, abs=0.5)

@@ -1,0 +1,84 @@
+"""Unit tests for RV -> classical elements recovery."""
+
+import math
+
+import pytest
+
+from repro.errors import PropagationError
+from repro.sgp4 import SGP4, WGS72
+from repro.sgp4.elements_from_state import elements_from_state
+from repro.tle import parse_tle
+
+SGP4_LINE1 = "1 88888U          80275.98708465  .00073094  13844-3  66816-4 0    87"
+SGP4_LINE2 = "2 88888  72.8435 115.9689 0086731  52.6988 110.5714 16.05824518  1058"
+
+
+class TestRoundTripWithSgp4:
+    def test_recovers_mean_elements_approximately(self):
+        """Osculating elements recovered from SGP4 output must sit near
+        the TLE's mean elements (J2 periodics cause ~0.1% wiggle)."""
+        tle = parse_tle(SGP4_LINE1, SGP4_LINE2)
+        state = SGP4(tle).propagate_minutes(0.0)
+        coe = elements_from_state(state.position_km, state.velocity_km_s)
+        assert coe.sma_km == pytest.approx(tle.sma_km, rel=0.005)
+        assert coe.eccentricity == pytest.approx(tle.eccentricity, abs=0.002)
+        assert coe.inclination_deg == pytest.approx(tle.inclination_deg, abs=0.2)
+        assert coe.raan_deg == pytest.approx(tle.raan_deg, abs=0.5)
+
+    def test_circular_orbit(self, sample_elements):
+        state = SGP4(sample_elements).propagate_minutes(10.0)
+        coe = elements_from_state(state.position_km, state.velocity_km_s)
+        assert coe.eccentricity < 0.01
+        assert coe.inclination_deg == pytest.approx(53.0, abs=0.2)
+        assert coe.mean_motion_rev_day == pytest.approx(
+            sample_elements.mean_motion_rev_day, rel=0.01
+        )
+
+
+class TestAnalyticCases:
+    def test_equatorial_circular(self):
+        # Circular equatorial orbit at radius r: v = sqrt(mu/r).
+        r = 7000.0
+        v = math.sqrt(WGS72.mu / r)
+        coe = elements_from_state((r, 0.0, 0.0), (0.0, v, 0.0))
+        assert coe.sma_km == pytest.approx(r)
+        assert coe.eccentricity == pytest.approx(0.0, abs=1e-9)
+        assert coe.inclination_deg == pytest.approx(0.0, abs=1e-9)
+
+    def test_polar_orbit_inclination(self):
+        r = 7000.0
+        v = math.sqrt(WGS72.mu / r)
+        coe = elements_from_state((r, 0.0, 0.0), (0.0, 0.0, v))
+        assert coe.inclination_deg == pytest.approx(90.0, abs=1e-9)
+
+    def test_elliptic_orbit_at_perigee(self):
+        # Perigee of an ellipse with e=0.1, a=8000 km.
+        a, e = 8000.0, 0.1
+        rp = a * (1.0 - e)
+        vp = math.sqrt(WGS72.mu * (2.0 / rp - 1.0 / a))
+        coe = elements_from_state((rp, 0.0, 0.0), (0.0, vp, 0.0))
+        assert coe.sma_km == pytest.approx(a, rel=1e-9)
+        assert coe.eccentricity == pytest.approx(e, abs=1e-9)
+        assert coe.true_anomaly_deg == pytest.approx(0.0, abs=1e-6)
+
+    def test_retrograde_orbit(self):
+        r = 7000.0
+        v = math.sqrt(WGS72.mu / r)
+        coe = elements_from_state((r, 0.0, 0.0), (0.0, -v * 0.5, v * 0.866))
+        assert coe.inclination_deg > 90.0
+
+
+class TestRejections:
+    def test_degenerate_position(self):
+        with pytest.raises(PropagationError):
+            elements_from_state((0.0, 0.0, 0.0), (1.0, 0.0, 0.0))
+
+    def test_rectilinear(self):
+        with pytest.raises(PropagationError):
+            elements_from_state((7000.0, 0.0, 0.0), (1.0, 0.0, 0.0))
+
+    def test_hyperbolic(self):
+        r = 7000.0
+        v_escape = math.sqrt(2 * WGS72.mu / r)
+        with pytest.raises(PropagationError):
+            elements_from_state((r, 0.0, 0.0), (0.0, v_escape * 1.1, 0.0))

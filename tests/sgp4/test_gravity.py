@@ -1,0 +1,34 @@
+"""Unit tests for gravity model constants."""
+
+import math
+
+import pytest
+
+from repro.sgp4 import WGS72, WGS84
+
+
+class TestGravityModels:
+    def test_wgs72_values(self):
+        assert WGS72.mu == 398600.8
+        assert WGS72.radius_km == 6378.135
+        assert WGS72.j2 == pytest.approx(0.001082616)
+
+    def test_xke_definition(self):
+        # xke = 60/sqrt(r^3/mu).
+        expected = 60.0 / math.sqrt(WGS72.radius_km**3 / WGS72.mu)
+        assert WGS72.xke == pytest.approx(expected)
+        assert WGS72.xke == pytest.approx(0.0743669161, abs=1e-9)
+
+    def test_tumin_is_inverse(self):
+        assert WGS72.tumin * WGS72.xke == pytest.approx(1.0)
+
+    def test_k2(self):
+        assert WGS72.k2 == pytest.approx(WGS72.j2 / 2.0)
+
+    def test_j3oj2_negative(self):
+        assert WGS72.j3oj2 < 0
+        assert WGS84.j3oj2 < 0
+
+    def test_models_differ_slightly(self):
+        assert WGS72.radius_km != WGS84.radius_km
+        assert abs(WGS72.mu - WGS84.mu) < 1.0

@@ -1,0 +1,121 @@
+"""SGP4 propagator tests against the published Spacetrack Report #3
+reference ephemeris and physical invariants."""
+
+import math
+
+import pytest
+
+from repro.errors import PropagationError
+from repro.sgp4 import SGP4, WGS72
+from repro.time import Epoch
+from repro.tle import parse_tle
+from repro.tle.elements import MeanElements
+
+#: Spacetrack Report #3 reference positions [km] for the test TLE at
+#: 0/360 minutes (Vallado's revised SGP4 values).
+REFERENCE = {
+    0.0: (2328.96594, -5995.21600, 1719.97894),
+    360.0: (2456.10705, -6071.93853, 1222.89727),
+}
+
+
+@pytest.fixture
+def test_propagator(sgp4_test_tle):
+    line1, line2 = sgp4_test_tle
+    return SGP4(parse_tle(line1, line2))
+
+
+class TestReferenceEphemeris:
+    @pytest.mark.parametrize("tsince", [0.0, 360.0])
+    def test_position_matches_report(self, test_propagator, tsince):
+        result = test_propagator.propagate_minutes(tsince)
+        expected = REFERENCE[tsince]
+        for got, want in zip(result.position_km, expected):
+            assert got == pytest.approx(want, abs=0.05)
+
+    def test_velocity_at_epoch(self, test_propagator):
+        result = test_propagator.propagate_minutes(0.0)
+        expected = (2.91110113, -0.98164053, -7.09049922)
+        for got, want in zip(result.velocity_km_s, expected):
+            assert got == pytest.approx(want, abs=0.01)
+
+
+class TestPhysicalInvariants:
+    def test_radius_consistent_with_orbit(self, test_propagator):
+        result = test_propagator.propagate_minutes(90.0)
+        el = test_propagator.elements
+        perigee = el.perigee_altitude_km + WGS72.radius_km
+        apogee = el.apogee_altitude_km + WGS72.radius_km
+        # Osculating radius stays near the mean-element bounds.
+        assert perigee - 30.0 <= result.radius_km <= apogee + 30.0
+
+    def test_speed_is_orbital(self, test_propagator):
+        result = test_propagator.propagate_minutes(50.0)
+        assert 6.5 < result.speed_km_s < 8.5
+
+    def test_period_recovers_position(self, test_propagator):
+        # One revolution later the satellite is near the same spot
+        # (J2 drift aside).
+        period = test_propagator.elements.period_minutes
+        r0 = test_propagator.propagate_minutes(0.0)
+        r1 = test_propagator.propagate_minutes(period)
+        distance = math.dist(r0.position_km, r1.position_km)
+        assert distance < 150.0
+
+    def test_propagate_to_epoch(self, test_propagator):
+        epoch = test_propagator.elements.epoch
+        by_minutes = test_propagator.propagate_minutes(60.0)
+        by_epoch = test_propagator.propagate(epoch.add_hours(1.0))
+        # Epoch arithmetic goes through JD floats (~20 us resolution),
+        # so allow a metre-level difference.
+        assert by_epoch.position_km == pytest.approx(by_minutes.position_km, abs=1e-3)
+
+    def test_backward_propagation(self, test_propagator):
+        result = test_propagator.propagate_minutes(-60.0)
+        assert result.radius_km > WGS72.radius_km
+
+
+class TestStarlinkOrbit:
+    def test_propagates_at_550km(self, sample_elements):
+        prop = SGP4(sample_elements)
+        result = prop.propagate_minutes(45.0)
+        altitude = result.radius_km - WGS72.radius_km
+        assert altitude == pytest.approx(550.0, abs=25.0)
+
+    def test_inclination_bounds_z(self, sample_elements):
+        # |z| <= r*sin(i) for an inclined circular orbit.
+        prop = SGP4(sample_elements)
+        max_z = 0.0
+        for minutes in range(0, 100, 5):
+            r = prop.propagate_minutes(float(minutes))
+            max_z = max(max_z, abs(r.position_km[2]))
+        bound = (WGS72.radius_km + 560.0) * math.sin(math.radians(53.0))
+        assert max_z <= bound + 20.0
+
+
+class TestRejections:
+    def test_deep_space_rejected(self, sample_elements):
+        from dataclasses import replace
+
+        geo = replace(sample_elements, mean_motion_rev_day=1.0027)
+        with pytest.raises(PropagationError, match="deep-space"):
+            SGP4(geo)
+
+    def test_decay_detected(self):
+        # A heavily dragged satellite decays within days.
+        el = MeanElements(
+            catalog_number=1,
+            epoch=Epoch.from_calendar(2023, 1, 1),
+            inclination_deg=53.0,
+            raan_deg=0.0,
+            eccentricity=0.001,
+            argp_deg=0.0,
+            mean_anomaly_deg=0.0,
+            mean_motion_rev_day=16.4,  # ~200 km
+            bstar=0.1,
+        )
+        prop = SGP4(el)
+        # Either the radius check or the drag-driven eccentricity check
+        # fires first depending on the decay path; both mean "decayed".
+        with pytest.raises(PropagationError):
+            prop.propagate_minutes(80000.0)

@@ -1,0 +1,141 @@
+"""Unit tests for constellation-level simulation."""
+
+import pytest
+
+from repro.atmosphere import ThermosphereModel
+from repro.errors import SimulationError
+from repro.simulation.constellation import (
+    FIRST_CATALOG_NUMBER,
+    ConstellationConfig,
+    ConstellationSimulator,
+)
+from repro.simulation.solarmodel import SolarActivityModel, StochasticStormRates
+from repro.time import Epoch
+
+
+def thermosphere(start, days):
+    model = SolarActivityModel(rates=StochasticStormRates(0.0, 0.0))
+    return ThermosphereModel(model.generate(start, start.add_days(days), seed=0))
+
+
+class TestBuildSatellites:
+    def test_total_count(self):
+        config = ConstellationConfig(total_satellites=45, batch_size=20)
+        sats = ConstellationSimulator(config).build_satellites(seed=0)
+        assert len(sats) == 45
+
+    def test_catalog_numbers_sequential(self):
+        config = ConstellationConfig(total_satellites=10, batch_size=5)
+        sats = ConstellationSimulator(config).build_satellites(seed=0)
+        numbers = [s.catalog_number for s in sats]
+        assert numbers == list(range(FIRST_CATALOG_NUMBER, FIRST_CATALOG_NUMBER + 10))
+
+    def test_launch_cadence(self):
+        config = ConstellationConfig(
+            total_satellites=30, batch_size=10, launch_cadence_days=14.0
+        )
+        sats = ConstellationSimulator(config).build_satellites(seed=0)
+        launches = sorted({s.launch.unix for s in sats})
+        assert len(launches) == 3
+        assert (launches[1] - launches[0]) / 86400.0 == pytest.approx(14.0)
+
+    def test_shells_round_robin(self):
+        config = ConstellationConfig(total_satellites=30, batch_size=10)
+        sats = ConstellationSimulator(config).build_satellites(seed=0)
+        shells = {s.shell.name for s in sats}
+        assert len(shells) == 2
+
+    def test_deorbit_fraction(self):
+        config = ConstellationConfig(
+            total_satellites=50, batch_size=25, deorbit_fraction=0.1
+        )
+        sats = ConstellationSimulator(config).build_satellites(seed=0)
+        scheduled = [s for s in sats if s.deorbit_after_days is not None]
+        assert len(scheduled) == 5
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(SimulationError):
+            ConstellationConfig(total_satellites=0)
+        with pytest.raises(SimulationError):
+            ConstellationConfig(shells=tuple())
+        with pytest.raises(SimulationError):
+            ConstellationConfig(deorbit_fraction=2.0)
+
+
+class TestRun:
+    def test_simulates_launched_satellites_only(self):
+        start = Epoch.from_calendar(2023, 1, 1)
+        config = ConstellationConfig(
+            total_satellites=20,
+            batch_size=10,
+            launch_cadence_days=120.0,
+            first_launch=start,
+            deorbit_fraction=0.0,
+        )
+        end = start.add_days(60.0)  # second batch not yet launched
+        trajectories = ConstellationSimulator(config).run(
+            thermosphere(start, 60), end, seed=0
+        )
+        assert len(trajectories) == 10
+
+    def test_raises_when_nothing_launched(self):
+        start = Epoch.from_calendar(2023, 1, 1)
+        config = ConstellationConfig(total_satellites=10, first_launch=start)
+        with pytest.raises(SimulationError):
+            ConstellationSimulator(config).run(
+                thermosphere(start, 10), start.add_days(-5), seed=0
+            )
+
+    def test_trajectories_carry_distinct_catalog_numbers(self):
+        start = Epoch.from_calendar(2023, 1, 1)
+        config = ConstellationConfig(
+            total_satellites=8, batch_size=8, first_launch=start, deorbit_fraction=0.0
+        )
+        trajectories = ConstellationSimulator(config).run(
+            thermosphere(start, 30), start.add_days(30), seed=0
+        )
+        numbers = [t.catalog_number for t in trajectories]
+        assert len(set(numbers)) == len(numbers)
+
+
+class TestGenerations:
+    def test_generation_by_launch_date(self):
+        from repro.simulation.constellation import (
+            STARLINK_GENERATIONS,
+            generation_for_launch,
+        )
+
+        assert generation_for_launch(Epoch.from_calendar(2020, 1, 1)).name == "v1.0"
+        assert generation_for_launch(Epoch.from_calendar(2022, 1, 1)).name == "v1.5"
+        assert generation_for_launch(Epoch.from_calendar(2024, 1, 1)).name == "v2-mini"
+
+    def test_pre_introduction_falls_back_to_first(self):
+        from repro.simulation.constellation import generation_for_launch
+
+        assert generation_for_launch(Epoch.from_calendar(2018, 1, 1)).name == "v1.0"
+
+    def test_no_generations_rejected(self):
+        from repro.errors import SimulationError
+        from repro.simulation.constellation import generation_for_launch
+
+        with pytest.raises(SimulationError):
+            generation_for_launch(Epoch.from_calendar(2020, 1, 1), tuple())
+
+    def test_fleet_mixes_generations(self):
+        from repro.simulation.constellation import STARLINK_GENERATIONS
+
+        config = ConstellationConfig(
+            total_satellites=40,
+            batch_size=10,
+            launch_cadence_days=500.0,  # spreads launches over years
+            first_launch=Epoch.from_calendar(2020, 1, 1),
+        )
+        sats = ConstellationSimulator(config).build_satellites(seed=0)
+        masses = {s.ballistic.mass_kg for s in sats}
+        assert len(masses) >= 2, "multi-year fleet should span generations"
+
+    def test_later_generations_heavier(self):
+        from repro.simulation.constellation import STARLINK_GENERATIONS
+
+        masses = [g.ballistic.mass_kg for g in STARLINK_GENERATIONS]
+        assert masses == sorted(masses)

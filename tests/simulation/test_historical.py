@@ -1,0 +1,57 @@
+"""Unit tests for the 50-year historical Dst reconstruction."""
+
+import pytest
+
+from repro.simulation.historical import (
+    FAMOUS_STORMS,
+    famous_storms,
+    historical_dst,
+)
+from repro.time import Epoch
+
+
+class TestFamousStorms:
+    def test_eight_named_storms(self):
+        assert len(FAMOUS_STORMS) == 8
+
+    def test_march_1989_strongest(self):
+        peaks = {s.name: s.peak_nt for s in FAMOUS_STORMS}
+        assert min(peaks.values()) == -589.0
+        assert peaks["March 1989 (Quebec blackout)"] == -589.0
+
+    def test_may_2024_included(self):
+        may = [s for s in FAMOUS_STORMS if "2024" in s.name]
+        assert may and may[0].peak_nt == -412.0
+
+    def test_copy_returned(self):
+        storms = famous_storms()
+        storms.clear()
+        assert len(FAMOUS_STORMS) == 8
+
+
+class TestHistoricalDst:
+    @pytest.fixture(scope="class")
+    def window(self):
+        # A 3-year window around the 1989 storm keeps the test fast.
+        return historical_dst(1988, 1991, seed=7)
+
+    def test_hourly_span(self, window):
+        expected_hours = (365 * 3 + 1) * 24  # 1988 is a leap year
+        assert len(window) == expected_hours
+
+    def test_quebec_storm_visible(self, window):
+        march_1989 = window.slice(
+            Epoch.from_calendar(1989, 3, 12), Epoch.from_calendar(1989, 3, 16)
+        )
+        assert march_1989.min_nt() < -500.0
+
+    def test_quiet_majority(self, window):
+        import numpy as np
+
+        values = window.series.values
+        assert (values > -50.0).mean() > 0.95
+
+    def test_deterministic(self):
+        a = historical_dst(2002, 2003, seed=1)
+        b = historical_dst(2002, 2003, seed=1)
+        assert list(a.series.values) == list(b.series.values)

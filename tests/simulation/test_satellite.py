@@ -1,0 +1,202 @@
+"""Unit tests for the satellite lifecycle simulation."""
+
+import numpy as np
+import pytest
+
+from repro.atmosphere import ThermosphereModel
+from repro.errors import SimulationError
+from repro.orbits.shells import STARLINK_SHELLS
+from repro.simulation.satellite import (
+    LifecycleConfig,
+    SatelliteState,
+    SimulatedSatellite,
+)
+from repro.simulation.solarmodel import SolarActivityModel, StochasticStormRates, StormSpec
+from repro.time import Epoch
+
+LAUNCH = Epoch.from_calendar(2023, 1, 1)
+SHELL = STARLINK_SHELLS[0]
+
+
+def quiet_thermosphere(start=LAUNCH, days=200):
+    model = SolarActivityModel(rates=StochasticStormRates(0.0, 0.0))
+    dst = model.generate(start, start.add_days(days), seed=9)
+    return ThermosphereModel(dst)
+
+
+def stormy_thermosphere(storm_peak=-250.0, storm_day=150, days=220):
+    storm = StormSpec(
+        LAUNCH.add_days(storm_day), storm_peak, main_phase_hours=6.0,
+        plateau_hours=6.0, recovery_tau_hours=20.0,
+    )
+    model = SolarActivityModel(rates=StochasticStormRates(0.0, 0.0), storms=[storm])
+    dst = model.generate(LAUNCH, LAUNCH.add_days(days), seed=9)
+    return ThermosphereModel(dst)
+
+
+def satellite(**kwargs):
+    return SimulatedSatellite(44713, SHELL, LAUNCH, **kwargs)
+
+
+class TestLifecycleConfig:
+    def test_rejects_bad_staging(self):
+        with pytest.raises(SimulationError):
+            LifecycleConfig(staging_days=-1.0)
+
+    def test_rejects_bad_derelict_fraction(self):
+        with pytest.raises(SimulationError):
+            LifecycleConfig(derelict_fraction=1.5)
+
+    def test_rejects_reversed_outage_range(self):
+        with pytest.raises(SimulationError):
+            LifecycleConfig(outage_days_range=(10.0, 5.0))
+
+
+class TestQuietLifecycle:
+    @pytest.fixture(scope="class")
+    def trajectory(self):
+        return satellite().simulate(quiet_thermosphere(), LAUNCH.add_days(200), seed=1)
+
+    def test_starts_at_staging_altitude(self, trajectory):
+        assert trajectory.altitude_km[0] == pytest.approx(350.0, abs=1.0)
+
+    def test_reaches_operational_altitude(self, trajectory):
+        final = trajectory.final_altitude_km()
+        assert final == pytest.approx(SHELL.altitude_km, abs=3.0)
+
+    def test_state_progression(self, trajectory):
+        states = trajectory.states
+        i_staging = states.index(SatelliteState.STAGING)
+        i_raising = states.index(SatelliteState.RAISING)
+        i_operational = states.index(SatelliteState.OPERATIONAL)
+        assert i_staging < i_raising < i_operational
+
+    def test_staging_duration_respected(self, trajectory):
+        staging_steps = sum(1 for s in trajectory.states if s is SatelliteState.STAGING)
+        staging_days = staging_steps * 6 / 24
+        assert staging_days == pytest.approx(45.0, abs=2.0)
+
+    def test_no_hazards_in_quiet_conditions(self, trajectory):
+        assert SatelliteState.OUTAGE not in trajectory.states
+        assert SatelliteState.DERELICT not in trajectory.states
+
+    def test_sawtooth_amplitude_bounded(self, trajectory):
+        ops = [i for i, s in enumerate(trajectory.states) if s is SatelliteState.OPERATIONAL]
+        altitudes = trajectory.altitude_km[ops]
+        assert SHELL.altitude_km - altitudes.min() < 4.0
+
+    def test_not_reentered(self, trajectory):
+        assert not trajectory.reentered
+
+
+class TestStormResponse:
+    def test_outages_occur_under_big_storms(self):
+        thermosphere = stormy_thermosphere()
+        hit = 0
+        config = LifecycleConfig(outage_rate_per_day=0.5, derelict_fraction=0.0)
+        for seed in range(10):
+            tr = satellite(config=config).simulate(
+                thermosphere, LAUNCH.add_days(220), seed=seed
+            )
+            if SatelliteState.OUTAGE in tr.states:
+                hit += 1
+        assert hit >= 5
+
+    def test_outage_recovers_to_target(self):
+        thermosphere = stormy_thermosphere()
+        config = LifecycleConfig(
+            outage_rate_per_day=1.0, derelict_fraction=0.0,
+            outage_days_range=(5.0, 10.0),
+        )
+        tr = satellite(config=config).simulate(thermosphere, LAUNCH.add_days(220), seed=3)
+        assert SatelliteState.OUTAGE in tr.states
+        assert SatelliteState.RECOVERING in tr.states
+        assert tr.final_altitude_km() == pytest.approx(SHELL.altitude_km, abs=4.0)
+
+    def test_derelict_decays_monotonically(self):
+        thermosphere = stormy_thermosphere()
+        config = LifecycleConfig(outage_rate_per_day=1.0, derelict_fraction=1.0)
+        tr = satellite(config=config).simulate(thermosphere, LAUNCH.add_days(220), seed=3)
+        assert SatelliteState.DERELICT in tr.states
+        derelict_idx = [i for i, s in enumerate(tr.states) if s is SatelliteState.DERELICT]
+        alts = tr.altitude_km[derelict_idx]
+        # Allow the hold-noise jitter, but the trend must be down.
+        assert alts[-1] < alts[0]
+        assert np.all(np.diff(alts) < 0.5)
+
+
+class TestDeorbit:
+    def test_scheduled_deorbit_descends(self):
+        thermosphere = quiet_thermosphere(days=400)
+        sat = satellite(deorbit_after_days=150.0)
+        tr = sat.simulate(thermosphere, LAUNCH.add_days(300), seed=1)
+        assert SatelliteState.DEORBITING in tr.states
+        assert tr.final_altitude_km() < SHELL.altitude_km - 50.0 or tr.reentered
+
+    def test_reentry_terminates_tracking(self):
+        thermosphere = quiet_thermosphere(days=500)
+        sat = satellite(deorbit_after_days=100.0)
+        tr = sat.simulate(thermosphere, LAUNCH.add_days(500), seed=1)
+        assert tr.reentered
+        assert np.isnan(tr.altitude_km[-1])
+
+
+class TestValidation:
+    def test_rejects_end_before_launch(self):
+        with pytest.raises(SimulationError):
+            satellite().simulate(quiet_thermosphere(), LAUNCH.add_days(-1), seed=0)
+
+    def test_rejects_bad_step(self):
+        with pytest.raises(SimulationError):
+            satellite().simulate(
+                quiet_thermosphere(), LAUNCH.add_days(10), seed=0, step_hours=0.0
+            )
+
+    def test_deterministic_per_seed(self):
+        thermosphere = quiet_thermosphere()
+        a = satellite().simulate(thermosphere, LAUNCH.add_days(100), seed=7)
+        b = satellite().simulate(thermosphere, LAUNCH.add_days(100), seed=7)
+        assert np.array_equal(a.altitude_km, b.altitude_km, equal_nan=True)
+
+
+class TestStormHold:
+    def test_fleet_sags_during_maneuver_hold(self):
+        """During a deep storm, operators pause boosting: the satellite
+        sags below its deadband and recovers only after the backlog."""
+        thermosphere = stormy_thermosphere(storm_peak=-300.0, storm_day=150)
+        config = LifecycleConfig(
+            outage_rate_per_day=0.0,
+            derelict_fraction=0.0,
+            storm_backlog_days_range=(10.0, 12.0),
+        )
+        tr = satellite(config=config).simulate(
+            thermosphere, LAUNCH.add_days(220), seed=5
+        )
+        storm_idx = int(np.searchsorted(tr.times, LAUNCH.add_days(150).unix))
+        post = tr.altitude_km[storm_idx : storm_idx + 4 * 14 * 4]
+        dip = SHELL.altitude_km - float(np.nanmin(post))
+        assert dip > 2.0, "hold must push the sag past the deadband"
+        # After the backlog clears, the satellite climbs back.
+        tail = tr.altitude_km[-20:]
+        assert float(np.nanmedian(tail)) > SHELL.altitude_km - 2.5
+
+    def test_attentive_ops_limits_sag(self):
+        """A short backlog (the May-2024 posture) keeps the sag small."""
+        thermosphere = stormy_thermosphere(storm_peak=-300.0, storm_day=150)
+        slow = LifecycleConfig(
+            outage_rate_per_day=0.0, derelict_fraction=0.0,
+            storm_backlog_days_range=(15.0, 20.0),
+        )
+        fast = LifecycleConfig(
+            outage_rate_per_day=0.0, derelict_fraction=0.0,
+            storm_backlog_days_range=(0.3, 1.0),
+        )
+        dips = {}
+        for name, config in (("slow", slow), ("fast", fast)):
+            tr = satellite(config=config).simulate(
+                thermosphere, LAUNCH.add_days(220), seed=5
+            )
+            idx = int(np.searchsorted(tr.times, LAUNCH.add_days(150).unix))
+            post = tr.altitude_km[idx : idx + 4 * 25 * 4]
+            dips[name] = SHELL.altitude_km - float(np.nanmin(post))
+        assert dips["fast"] < dips["slow"]

@@ -1,0 +1,54 @@
+"""Unit tests for canned scenarios (on the shared quickstart fixture)."""
+
+import numpy as np
+import pytest
+
+from repro.simulation.scenario import quickstart_scenario
+
+
+class TestQuickstartScenario:
+    def test_structure(self, shared_quickstart):
+        s = shared_quickstart
+        assert s.name == "quickstart"
+        assert len(s.catalog) == 30
+        assert len(s.trajectories) == 30
+        assert len(s.dst) > 0
+        assert len(s.storms) == 2
+
+    def test_dst_covers_window(self, shared_quickstart):
+        s = shared_quickstart
+        assert s.dst.start.unix <= s.start.unix
+        assert s.dst.end.unix >= s.end.add_days(-1).unix
+
+    def test_planted_storms_visible(self, shared_quickstart):
+        s = shared_quickstart
+        for storm in s.storms:
+            window = s.dst.slice(storm.onset.add_hours(-2), storm.onset.add_hours(24))
+            assert window.min_nt() < storm.peak_nt * 0.7
+
+    def test_catalog_matches_trajectories(self, shared_quickstart):
+        s = shared_quickstart
+        trajectory_numbers = {t.catalog_number for t in s.trajectories}
+        assert set(s.catalog.catalog_numbers) <= trajectory_numbers
+
+    def test_operational_altitudes(self, shared_quickstart):
+        s = shared_quickstart
+        medians = [h.altitude_series().median() for h in s.catalog]
+        # Shells 1 and 2: 550 and 540 km.
+        assert all(500.0 < m < 560.0 for m in medians)
+
+    def test_deterministic(self, shared_quickstart):
+        again = quickstart_scenario(seed=2)
+        assert again.catalog.total_records() == shared_quickstart.catalog.total_records()
+        assert list(again.dst.series.values[:100]) == list(
+            shared_quickstart.dst.series.values[:100]
+        )
+
+    def test_refresh_interval_realistic(self, shared_quickstart):
+        s = shared_quickstart
+        gaps = np.concatenate(
+            [h.refresh_intervals_hours() for h in s.catalog if len(h) > 1]
+        )
+        assert 6.0 < float(np.mean(gaps)) < 20.0
+        # Epoch round-trips through JD floats; allow sub-second dust.
+        assert float(np.max(gaps)) <= 154.0 + 1e-3

@@ -1,0 +1,171 @@
+"""Unit tests for the stochastic Dst generator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulation.solarmodel import (
+    QuietModel,
+    SolarActivityModel,
+    StochasticStormRates,
+    StormSpec,
+    may_2024_superstorm,
+    paper_window_storms,
+)
+from repro.spaceweather import StormLevel
+from repro.time import Epoch
+
+
+class TestStormSpec:
+    def test_contribution_zero_long_before(self):
+        storm = StormSpec(Epoch.from_calendar(2023, 1, 1), -100.0)
+        assert storm.contribution_nt(-10.0) == 0.0
+
+    def test_commencement_positive(self):
+        storm = StormSpec(Epoch.from_calendar(2023, 1, 1), -100.0)
+        assert storm.contribution_nt(-1.5) > 0.0
+
+    def test_peak_at_main_phase_end(self):
+        storm = StormSpec(Epoch.from_calendar(2023, 1, 1), -100.0, main_phase_hours=4.0)
+        assert storm.contribution_nt(4.0) == pytest.approx(-100.0)
+
+    def test_plateau_holds_peak(self):
+        storm = StormSpec(
+            Epoch.from_calendar(2023, 1, 1), -100.0, main_phase_hours=3.0, plateau_hours=2.0
+        )
+        assert storm.contribution_nt(4.0) == pytest.approx(-100.0)
+        assert storm.contribution_nt(5.0) == pytest.approx(-100.0)
+
+    def test_recovery_decays_exponentially(self):
+        storm = StormSpec(
+            Epoch.from_calendar(2023, 1, 1), -100.0,
+            main_phase_hours=4.0, recovery_tau_hours=10.0,
+        )
+        assert storm.contribution_nt(14.0) == pytest.approx(-100.0 * np.exp(-1.0))
+
+    def test_rejects_positive_peak(self):
+        with pytest.raises(SimulationError):
+            StormSpec(Epoch.from_calendar(2023, 1, 1), 50.0)
+
+    def test_rejects_bad_durations(self):
+        with pytest.raises(SimulationError):
+            StormSpec(Epoch.from_calendar(2023, 1, 1), -100.0, main_phase_hours=0.0)
+        with pytest.raises(SimulationError):
+            StormSpec(Epoch.from_calendar(2023, 1, 1), -100.0, plateau_hours=-1.0)
+
+
+class TestQuietModel:
+    def test_rejects_bad_correlation(self):
+        with pytest.raises(SimulationError):
+            QuietModel(correlation=1.0)
+
+    def test_rejects_negative_sigma(self):
+        with pytest.raises(SimulationError):
+            QuietModel(sigma_nt=-1.0)
+
+
+class TestGenerate:
+    def test_hourly_grid(self):
+        model = SolarActivityModel(rates=StochasticStormRates(0.0, 0.0))
+        dst = model.generate(
+            Epoch.from_calendar(2023, 1, 1), Epoch.from_calendar(2023, 1, 8), seed=1
+        )
+        assert len(dst) == 7 * 24
+
+    def test_deterministic_per_seed(self):
+        model = SolarActivityModel()
+        a = model.generate(
+            Epoch.from_calendar(2023, 1, 1), Epoch.from_calendar(2023, 2, 1), seed=5
+        )
+        b = model.generate(
+            Epoch.from_calendar(2023, 1, 1), Epoch.from_calendar(2023, 2, 1), seed=5
+        )
+        assert list(a.series.values) == list(b.series.values)
+
+    def test_different_seeds_differ(self):
+        model = SolarActivityModel()
+        a = model.generate(
+            Epoch.from_calendar(2023, 1, 1), Epoch.from_calendar(2023, 2, 1), seed=1
+        )
+        b = model.generate(
+            Epoch.from_calendar(2023, 1, 1), Epoch.from_calendar(2023, 2, 1), seed=2
+        )
+        assert list(a.series.values) != list(b.series.values)
+
+    def test_planted_storm_visible(self):
+        storm = StormSpec(Epoch.from_calendar(2023, 1, 15), -180.0)
+        model = SolarActivityModel(rates=StochasticStormRates(0.0, 0.0), storms=[storm])
+        dst = model.generate(
+            Epoch.from_calendar(2023, 1, 1), Epoch.from_calendar(2023, 2, 1), seed=0
+        )
+        assert dst.min_nt() < -150.0
+
+    def test_quiet_baseline_rarely_stormy(self):
+        model = SolarActivityModel(rates=StochasticStormRates(0.0, 0.0))
+        dst = model.generate(
+            Epoch.from_calendar(2023, 1, 1), Epoch.from_calendar(2023, 12, 31), seed=3
+        )
+        stormy_fraction = (dst.series.values <= -50.0).mean()
+        assert stormy_fraction < 0.001
+
+    def test_rejects_reversed_window(self):
+        model = SolarActivityModel()
+        with pytest.raises(SimulationError):
+            model.generate(
+                Epoch.from_calendar(2023, 2, 1), Epoch.from_calendar(2023, 1, 1)
+            )
+
+    def test_storm_outside_window_ignored(self):
+        storm = StormSpec(Epoch.from_calendar(2024, 6, 1), -300.0)
+        model = SolarActivityModel(rates=StochasticStormRates(0.0, 0.0), storms=[storm])
+        dst = model.generate(
+            Epoch.from_calendar(2023, 1, 1), Epoch.from_calendar(2023, 2, 1), seed=0
+        )
+        assert dst.min_nt() > -60.0
+
+
+class TestPaperCalibration:
+    @pytest.fixture(scope="class")
+    def paper_dst(self):
+        model = SolarActivityModel(storms=paper_window_storms())
+        return model.generate(
+            Epoch.from_calendar(2020, 1, 1), Epoch.from_calendar(2024, 5, 7), seed=0
+        )
+
+    def test_99th_percentile_near_paper(self, paper_dst):
+        # Paper: -63 nT.
+        assert -80.0 < paper_dst.intensity_percentile(99) < -55.0
+
+    def test_95th_percentile_quieter_than_minor(self, paper_dst):
+        # Paper: 95th-ptile is weaker than a minor storm (> -50 nT).
+        assert paper_dst.intensity_percentile(95) > -50.0
+
+    def test_band_hours_shape(self, paper_dst):
+        counts = paper_dst.level_hour_counts()
+        # Paper: mild 720 h, moderate 74 h, severe 3 h, extreme 0.
+        assert 400 < counts[StormLevel.MINOR] < 1100
+        assert 40 < counts[StormLevel.MODERATE] < 160
+        assert 1 <= counts[StormLevel.SEVERE] <= 6
+        assert counts[StormLevel.EXTREME] == 0
+
+    def test_peak_is_the_april_2023_storm(self, paper_dst):
+        assert -240.0 < paper_dst.min_nt() <= -200.0
+
+
+class TestMay2024Superstorm:
+    def test_spec(self):
+        storm = may_2024_superstorm()
+        assert storm.peak_nt == -412.0
+        assert storm.onset.calendar()[:3] == (2024, 5, 10)
+
+    def test_hours_below_minus_200(self):
+        model = SolarActivityModel(
+            rates=StochasticStormRates(0.0, 0.0), storms=[may_2024_superstorm()]
+        )
+        dst = model.generate(
+            Epoch.from_calendar(2024, 5, 1), Epoch.from_calendar(2024, 5, 20), seed=0
+        )
+        below_200 = int((dst.series.values <= -200.0).sum())
+        # Paper: intensity below -200 nT for 23 hours.
+        assert 15 <= below_200 <= 30
+        assert dst.min_nt() == pytest.approx(-412.0, abs=25.0)

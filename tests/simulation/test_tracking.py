@@ -1,0 +1,125 @@
+"""Unit tests for the TLE observation simulator."""
+
+import numpy as np
+import pytest
+
+from repro.atmosphere import ThermosphereModel
+from repro.errors import SimulationError
+from repro.orbits.shells import STARLINK_SHELLS
+from repro.simulation.satellite import LifecycleConfig, SimulatedSatellite
+from repro.simulation.solarmodel import SolarActivityModel, StochasticStormRates
+from repro.simulation.tracking import TrackingConfig, TrackingSimulator
+from repro.time import Epoch
+
+LAUNCH = Epoch.from_calendar(2023, 1, 1)
+
+
+@pytest.fixture(scope="module")
+def trajectory():
+    # 200 days: staging (45 d) + raising (~80 d) + on-station margin.
+    model = SolarActivityModel(rates=StochasticStormRates(0.0, 0.0))
+    dst = model.generate(LAUNCH, LAUNCH.add_days(200), seed=4)
+    sat = SimulatedSatellite(44713, STARLINK_SHELLS[0], LAUNCH)
+    return sat.simulate(ThermosphereModel(dst), LAUNCH.add_days(200), seed=4)
+
+
+class TestTrackingConfig:
+    def test_rejects_bad_refresh(self):
+        with pytest.raises(SimulationError):
+            TrackingConfig(mean_refresh_hours=0.0)
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(SimulationError):
+            TrackingConfig(refresh_bounds_hours=(5.0, 1.0))
+
+    def test_rejects_bad_gross_probability(self):
+        with pytest.raises(SimulationError):
+            TrackingConfig(gross_error_probability=1.0)
+
+
+class TestObserve:
+    def test_produces_records(self, trajectory):
+        records = TrackingSimulator().observe(trajectory, seed=1)
+        assert len(records) > 100
+        assert all(r.catalog_number == 44713 for r in records)
+
+    def test_epochs_increasing(self, trajectory):
+        records = TrackingSimulator().observe(trajectory, seed=1)
+        epochs = [r.epoch.unix for r in records]
+        assert epochs == sorted(epochs)
+
+    def test_refresh_interval_statistics(self, trajectory):
+        config = TrackingConfig(mean_refresh_hours=12.0)
+        records = TrackingSimulator(config).observe(trajectory, seed=1)
+        gaps = np.diff([r.epoch.unix for r in records]) / 3600.0
+        assert gaps.min() >= 0.5 - 1e-3
+        assert gaps.max() <= 154.0 + 1e-3
+        assert 6.0 < gaps.mean() < 20.0
+
+    def test_altitudes_track_truth(self, trajectory):
+        config = TrackingConfig(gross_error_probability=0.0)
+        records = TrackingSimulator(config).observe(trajectory, seed=1)
+        # Late records should be near the operational altitude.
+        late = [r.altitude_km for r in records[-20:]]
+        assert np.median(late) == pytest.approx(550.0, abs=4.0)
+
+    def test_gross_errors_present_at_high_probability(self, trajectory):
+        config = TrackingConfig(gross_error_probability=0.2)
+        records = TrackingSimulator(config).observe(trajectory, seed=1)
+        outliers = [r for r in records if r.altitude_km > 650.0]
+        assert len(outliers) > 0
+        assert max(r.altitude_km for r in outliers) > 1000.0
+
+    def test_no_gross_errors_when_disabled(self, trajectory):
+        config = TrackingConfig(gross_error_probability=0.0)
+        records = TrackingSimulator(config).observe(trajectory, seed=1)
+        assert all(r.altitude_km < 650.0 for r in records)
+
+    def test_bstar_positive(self, trajectory):
+        records = TrackingSimulator().observe(trajectory, seed=1)
+        assert all(r.bstar > 0 for r in records)
+
+    def test_inclination_near_shell(self, trajectory):
+        records = TrackingSimulator().observe(trajectory, seed=1)
+        inclinations = [r.inclination_deg for r in records]
+        assert np.mean(inclinations) == pytest.approx(53.0, abs=0.1)
+
+    def test_raan_drifts_westward(self, trajectory):
+        records = TrackingSimulator().observe(trajectory, seed=1)
+        # Unwrap the RAAN series; J2 regression at 53 deg is negative.
+        raans = np.unwrap(np.radians([r.raan_deg for r in records]))
+        assert raans[-1] < raans[0]
+
+    def test_deterministic_per_seed(self, trajectory):
+        a = TrackingSimulator().observe(trajectory, seed=2)
+        b = TrackingSimulator().observe(trajectory, seed=2)
+        assert [r.epoch.unix for r in a] == [r.epoch.unix for r in b]
+
+    def test_formatted_records_are_valid_tles(self, trajectory):
+        from repro.tle import format_tle, parse_tle
+
+        records = TrackingSimulator().observe(trajectory, seed=1)
+        for record in records[:25]:
+            line1, line2 = format_tle(record)
+            parsed = parse_tle(line1, line2)
+            assert parsed.catalog_number == record.catalog_number
+
+
+class TestObserveFleet:
+    def test_fleet_observation(self, trajectory):
+        records = TrackingSimulator().observe_fleet([trajectory], seed=0)
+        assert len(records) > 0
+
+    def test_reentered_satellite_stops_being_tracked(self):
+        model = SolarActivityModel(rates=StochasticStormRates(0.0, 0.0))
+        dst = model.generate(LAUNCH, LAUNCH.add_days(400), seed=4)
+        sat = SimulatedSatellite(
+            44999, STARLINK_SHELLS[0], LAUNCH,
+            config=LifecycleConfig(),
+            deorbit_after_days=100.0,
+        )
+        tr = sat.simulate(ThermosphereModel(dst), LAUNCH.add_days(400), seed=4)
+        assert tr.reentered
+        records = TrackingSimulator().observe(tr, seed=1)
+        # No TLEs after re-entry: last epoch precedes the window end.
+        assert records[-1].epoch.unix < LAUNCH.add_days(400).unix - 86400.0

@@ -1,0 +1,39 @@
+"""Tests for scenario calibration validation."""
+
+import pytest
+
+from repro.simulation.scenario import paper_scenario
+from repro.simulation.validation import validate_paper_scenario
+
+
+@pytest.fixture(scope="module")
+def small_paper_scenario():
+    return paper_scenario(total_satellites=24, seed=0)
+
+
+class TestCalibration:
+    def test_paper_scenario_calibrated(self, small_paper_scenario):
+        report = validate_paper_scenario(small_paper_scenario)
+        assert report.ok, f"calibration drift: {report.failures()}"
+
+    def test_report_structure(self, small_paper_scenario):
+        report = validate_paper_scenario(small_paper_scenario)
+        assert report.scenario_name == "paper-window"
+        names = {c.name for c in report.checks}
+        assert "99th-ptile intensity" in names
+        assert "mean TLE refresh" in names
+        assert len(report.checks) >= 8
+
+    def test_failures_listed_when_broken(self, small_paper_scenario):
+        # Quiet slice only: storm-hour targets must fail.
+        import dataclasses
+
+        sliced = dataclasses.replace(
+            small_paper_scenario,
+            dst=small_paper_scenario.dst.slice(
+                small_paper_scenario.start, small_paper_scenario.start.add_days(10)
+            ),
+        )
+        report = validate_paper_scenario(sliced)
+        assert not report.ok
+        assert report.failures()

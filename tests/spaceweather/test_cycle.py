@@ -1,0 +1,66 @@
+"""Unit tests for the solar-cycle model."""
+
+import pytest
+
+from repro.errors import SpaceWeatherError
+from repro.spaceweather.cycle import (
+    SOLAR_MAXIMA_YEARS,
+    activity_factor,
+    gleissberg_factor,
+    nearest_maximum,
+    next_maximum,
+    schwabe_phase,
+)
+
+
+class TestMaxima:
+    def test_table_sorted(self):
+        assert list(SOLAR_MAXIMA_YEARS) == sorted(SOLAR_MAXIMA_YEARS)
+
+    def test_cycle_25_maximum_near_2025(self):
+        # Paper §2: "expected to reach solar maxima by the next year".
+        assert next_maximum(2024.0) == pytest.approx(2024.8)
+
+    def test_nearest(self):
+        assert nearest_maximum(1990.5) == pytest.approx(1989.9)
+        assert nearest_maximum(2020.0) == pytest.approx(2024.8, abs=6.0)
+
+    def test_next_extrapolates(self):
+        future = next_maximum(2050.0)
+        assert future > 2050.0
+        assert (future - 2024.8) % 11.0 == pytest.approx(0.0, abs=1e-6)
+
+    def test_era_bounds(self):
+        with pytest.raises(SpaceWeatherError):
+            nearest_maximum(1700.0)
+        with pytest.raises(SpaceWeatherError):
+            next_maximum(2200.0)
+
+
+class TestPhases:
+    def test_phase_zero_at_maximum(self):
+        assert schwabe_phase(1989.9) == pytest.approx(0.0, abs=1e-9)
+
+    def test_phase_range(self):
+        for year in (1975.0, 1995.0, 2010.0, 2023.0):
+            assert 0.0 <= schwabe_phase(year) < 1.0
+
+    def test_gleissberg_bounds(self):
+        for year in range(1900, 2100, 7):
+            assert 0.69 <= gleissberg_factor(float(year)) <= 1.31
+
+
+class TestActivityFactor:
+    def test_maximum_more_active_than_minimum(self):
+        at_max = activity_factor(1989.9)
+        at_min = activity_factor(1995.4)  # ~halfway to the next maximum
+        assert at_max > 2.0 * at_min
+
+    def test_always_positive(self):
+        for year in range(1905, 2095, 3):
+            assert activity_factor(float(year)) >= 0.1
+
+    def test_dormant_decades_weaker_than_active_ones(self):
+        # The paper: the Sun spent ~3 decades in a low-activity phase
+        # before cycle 25.  Compare the 2014 maximum against 1989's.
+        assert activity_factor(2014.3) < activity_factor(1989.9)

@@ -1,0 +1,100 @@
+"""Unit tests for Dst nowcasting."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SpaceWeatherError
+from repro.spaceweather import DstIndex
+from repro.spaceweather.forecast import (
+    forecast_mae,
+    persistence_forecast,
+    recovery_forecast,
+)
+from repro.time import Epoch
+
+START = Epoch.from_calendar(2023, 1, 1)
+
+
+def storm_recovery_dst(peak=-150.0, tau=9.0, hours=72):
+    """A storm at hour 10 recovering exponentially (the model's world)."""
+    values = np.full(hours, -11.0)
+    for h in range(10, hours):
+        values[h] = -11.0 + (peak + 11.0) * np.exp(-(h - 10) / tau)
+    return DstIndex.from_hourly(START, values)
+
+
+class TestRecoveryForecast:
+    def test_relaxes_toward_baseline(self):
+        dst = storm_recovery_dst()
+        forecast = recovery_forecast(dst, START.add_hours(10.5))
+        assert forecast.value_at_lead(1) > -150.0
+        assert forecast.value_at_lead(24) > forecast.value_at_lead(6)
+
+    def test_exact_on_exponential_world(self):
+        dst = storm_recovery_dst(tau=9.0)
+        forecast = recovery_forecast(
+            dst, START.add_hours(10.5), tau_hours=9.0, baseline_nt=-11.0
+        )
+        mae = forecast_mae(forecast, dst)
+        assert mae < 1.0
+
+    def test_beats_persistence_during_recovery(self):
+        dst = storm_recovery_dst()
+        origin = START.add_hours(11)
+        model = forecast_mae(recovery_forecast(dst, origin), dst)
+        flat = forecast_mae(persistence_forecast(dst, origin), dst)
+        assert model < flat
+
+    def test_quiet_forecast_stays_quiet(self):
+        dst = DstIndex.from_hourly(START, [-11.0] * 48)
+        forecast = recovery_forecast(dst, START.add_hours(20))
+        assert np.allclose(forecast.values_nt, -11.0, atol=0.5)
+
+    def test_requires_observation(self):
+        dst = storm_recovery_dst()
+        with pytest.raises(SpaceWeatherError):
+            recovery_forecast(dst, START.add_hours(-5))
+
+    def test_rejects_bad_parameters(self):
+        dst = storm_recovery_dst()
+        with pytest.raises(SpaceWeatherError):
+            recovery_forecast(dst, START.add_hours(10), horizon_hours=0)
+        with pytest.raises(SpaceWeatherError):
+            recovery_forecast(dst, START.add_hours(10), tau_hours=0.0)
+
+
+class TestPersistence:
+    def test_flat(self):
+        dst = storm_recovery_dst()
+        forecast = persistence_forecast(dst, START.add_hours(10.5))
+        assert np.allclose(forecast.values_nt, forecast.value_at_lead(1))
+
+    def test_lead_bounds(self):
+        dst = storm_recovery_dst()
+        forecast = persistence_forecast(dst, START.add_hours(10.5), horizon_hours=6)
+        with pytest.raises(SpaceWeatherError):
+            forecast.value_at_lead(7)
+        with pytest.raises(SpaceWeatherError):
+            forecast.value_at_lead(0)
+
+
+class TestMae:
+    def test_nan_when_no_overlap(self):
+        dst = storm_recovery_dst(hours=24)
+        forecast = persistence_forecast(dst, START.add_hours(23), horizon_hours=12)
+        assert np.isnan(forecast_mae(forecast, dst)) or forecast_mae(forecast, dst) >= 0
+
+    def test_on_synthetic_model_data(self):
+        """On the full stochastic generator, recovery forecasting still
+        beats persistence on average across storm onsets."""
+        from repro.simulation.solarmodel import SolarActivityModel, StormSpec
+
+        storm = StormSpec(START.add_days(5), -180.0, recovery_tau_hours=12.0)
+        model = SolarActivityModel(storms=[storm])
+        dst = model.generate(START, START.add_days(12), seed=4)
+        origin = storm.onset.add_hours(storm.main_phase_hours + 1)
+        model_mae = forecast_mae(
+            recovery_forecast(dst, origin, tau_hours=12.0), dst
+        )
+        flat_mae = forecast_mae(persistence_forecast(dst, origin), dst)
+        assert model_mae < flat_mae

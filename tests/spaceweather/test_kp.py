@@ -1,0 +1,95 @@
+"""Unit tests for Kp/ap indices and Dst<->Kp mapping."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SpaceWeatherError
+from repro.spaceweather.kp import (
+    KP_STEPS,
+    ap_from_kp,
+    dst_from_kp,
+    g_scale_from_kp,
+    kp_from_dst,
+    quantize_kp,
+)
+from repro.spaceweather.scales import GScale
+
+
+class TestKpScale:
+    def test_28_steps(self):
+        assert len(KP_STEPS) == 28
+        assert KP_STEPS[0] == 0.0
+        assert KP_STEPS[-1] == 9.0
+
+    def test_steps_strictly_increasing(self):
+        assert all(b > a for a, b in zip(KP_STEPS, KP_STEPS[1:]))
+
+    def test_quantize(self):
+        assert quantize_kp(5.3) == pytest.approx(5 + 1 / 3)
+        assert quantize_kp(5.1) == pytest.approx(5.0)
+        assert quantize_kp(0.0) == 0.0
+
+    def test_quantize_rejects_out_of_range(self):
+        with pytest.raises(SpaceWeatherError):
+            quantize_kp(9.5)
+
+
+class TestApConversion:
+    def test_known_values(self):
+        assert ap_from_kp(0.0) == 0
+        assert ap_from_kp(4.0) == 27
+        assert ap_from_kp(9.0) == 400
+
+    def test_monotone(self):
+        aps = [ap_from_kp(k) for k in KP_STEPS]
+        assert aps == sorted(aps)
+
+
+class TestDstKpMapping:
+    def test_band_edge_anchors(self):
+        # The NOAA G-scale boundaries map onto the paper's Dst bands.
+        assert kp_from_dst(-50.0) == pytest.approx(5.0)
+        assert kp_from_dst(-100.0) == pytest.approx(6.0)
+        assert kp_from_dst(-200.0) == pytest.approx(7.0)
+        assert kp_from_dst(-350.0) == pytest.approx(8.0)
+
+    def test_quiet_clamps_to_zero(self):
+        assert kp_from_dst(20.0) == 0.0
+
+    def test_carrington_clamps_to_nine(self):
+        assert kp_from_dst(-1800.0) == 9.0
+
+    def test_monotone_decreasing_in_dst(self):
+        dsts = np.linspace(10.0, -600.0, 200)
+        kps = [kp_from_dst(float(d)) for d in dsts]
+        assert all(b >= a for a, b in zip(kps, kps[1:]))
+
+    def test_round_trip_on_anchor_interior(self):
+        for kp in (1.0, 3.0, 5.0, 6.5, 8.0):
+            assert kp_from_dst(dst_from_kp(kp)) == pytest.approx(kp, abs=1e-9)
+
+    def test_nan_rejected(self):
+        with pytest.raises(SpaceWeatherError):
+            kp_from_dst(float("nan"))
+
+    def test_dst_from_kp_range_check(self):
+        with pytest.raises(SpaceWeatherError):
+            dst_from_kp(10.0)
+
+
+class TestGScaleFromKp:
+    def test_boundaries(self):
+        assert g_scale_from_kp(4.9) is None
+        assert g_scale_from_kp(5.0) is GScale.G1
+        assert g_scale_from_kp(6.0) is GScale.G2
+        assert g_scale_from_kp(7.0) is GScale.G3
+        assert g_scale_from_kp(8.0) is GScale.G4
+        assert g_scale_from_kp(9.0) is GScale.G5
+
+    def test_may_2024_storm_is_g5_class(self):
+        # -412 nT maps beyond Kp 8, consistent with the reported G4-G5.
+        assert g_scale_from_kp(kp_from_dst(-412.0)) in (GScale.G4, GScale.G5)
+
+    def test_range_check(self):
+        with pytest.raises(SpaceWeatherError):
+            g_scale_from_kp(-0.1)

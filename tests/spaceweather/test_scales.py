@@ -1,0 +1,61 @@
+"""Unit tests for storm classification."""
+
+import pytest
+
+from repro.errors import SpaceWeatherError
+from repro.spaceweather import GScale, StormLevel, classify_dst, g_scale_for_level
+
+
+class TestClassifyDst:
+    def test_quiet(self):
+        assert classify_dst(-10.0) is StormLevel.QUIET
+        assert classify_dst(20.0) is StormLevel.QUIET
+
+    def test_band_edges_belong_to_stormier_side(self):
+        assert classify_dst(-50.0) is StormLevel.MINOR
+        assert classify_dst(-100.0) is StormLevel.MODERATE
+        assert classify_dst(-200.0) is StormLevel.SEVERE
+        assert classify_dst(-350.0) is StormLevel.EXTREME
+
+    def test_just_inside_bands(self):
+        assert classify_dst(-49.9) is StormLevel.QUIET
+        assert classify_dst(-99.9) is StormLevel.MINOR
+        assert classify_dst(-199.9) is StormLevel.MODERATE
+        assert classify_dst(-349.9) is StormLevel.SEVERE
+
+    def test_papers_severe_hours(self):
+        # The paper classifies its -208/-209/-213 nT hours as severe.
+        for dst in (-208.0, -209.0, -213.0):
+            assert classify_dst(dst) is StormLevel.SEVERE
+
+    def test_may_2024_superstorm_extreme(self):
+        assert classify_dst(-412.0) is StormLevel.EXTREME
+
+    def test_carrington_extreme(self):
+        assert classify_dst(-1800.0) is StormLevel.EXTREME
+
+    def test_nan_rejected(self):
+        with pytest.raises(SpaceWeatherError):
+            classify_dst(float("nan"))
+
+
+class TestLevelMetadata:
+    def test_levels_ordered(self):
+        assert StormLevel.QUIET < StormLevel.MINOR < StormLevel.MODERATE
+        assert StormLevel.MODERATE < StormLevel.SEVERE < StormLevel.EXTREME
+
+    def test_thresholds(self):
+        assert StormLevel.MINOR.threshold_nt == -50.0
+        assert StormLevel.MODERATE.threshold_nt == -100.0
+        assert StormLevel.SEVERE.threshold_nt == -200.0
+        assert StormLevel.EXTREME.threshold_nt == -350.0
+
+    def test_quiet_threshold_is_nan(self):
+        assert StormLevel.QUIET.threshold_nt != StormLevel.QUIET.threshold_nt
+
+    def test_g_scale_mapping(self):
+        assert g_scale_for_level(StormLevel.QUIET) is None
+        assert g_scale_for_level(StormLevel.MINOR) is GScale.G1
+        assert g_scale_for_level(StormLevel.MODERATE) is GScale.G2
+        assert g_scale_for_level(StormLevel.SEVERE) is GScale.G4
+        assert g_scale_for_level(StormLevel.EXTREME) is GScale.G5

@@ -1,0 +1,119 @@
+"""Unit tests for the WDC Kyoto interchange format."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WDCFormatError
+from repro.spaceweather import DstIndex
+from repro.spaceweather.wdc import format_wdc, format_wdc_day, parse_wdc, parse_wdc_day
+from repro.time import Epoch
+
+
+def hourly(day=1, base=-10.0):
+    return [base - i for i in range(24)]
+
+
+class TestFormatDay:
+    def test_record_is_120_columns(self):
+        record = format_wdc_day(Epoch.from_calendar(2023, 5, 1), hourly())
+        assert len(record) == 120
+
+    def test_header_fields(self):
+        record = format_wdc_day(Epoch.from_calendar(2023, 5, 1), hourly())
+        assert record.startswith("DST2305*01")
+        assert record[12] == "X"
+        assert record[14:16] == "20"
+
+    def test_realtime_flag(self):
+        record = format_wdc_day(
+            Epoch.from_calendar(2023, 5, 1), hourly(), realtime=True
+        )
+        assert record[10:12] == "RR"
+
+    def test_missing_marker(self):
+        values = hourly()
+        values[5] = float("nan")
+        record = format_wdc_day(Epoch.from_calendar(2023, 5, 1), values)
+        assert "9999" in record
+
+    def test_rejects_wrong_count(self):
+        with pytest.raises(WDCFormatError):
+            format_wdc_day(Epoch.from_calendar(2023, 5, 1), [0.0] * 23)
+
+    def test_rejects_midday_start(self):
+        with pytest.raises(WDCFormatError):
+            format_wdc_day(Epoch.from_calendar(2023, 5, 1, 12), hourly())
+
+    def test_rejects_out_of_range_value(self):
+        values = hourly()
+        values[0] = -5000.0
+        with pytest.raises(WDCFormatError):
+            format_wdc_day(Epoch.from_calendar(2023, 5, 1), values)
+
+
+class TestParseDay:
+    def test_round_trip(self):
+        day = Epoch.from_calendar(2023, 5, 1)
+        values = hourly()
+        record = format_wdc_day(day, values)
+        parsed_day, parsed_values = parse_wdc_day(record)
+        assert parsed_day == day
+        assert list(parsed_values) == pytest.approx(values)
+
+    def test_missing_becomes_nan(self):
+        values = hourly()
+        values[7] = float("nan")
+        record = format_wdc_day(Epoch.from_calendar(2023, 5, 1), values)
+        _, parsed = parse_wdc_day(record)
+        assert np.isnan(parsed[7])
+
+    def test_rejects_wrong_prefix(self):
+        with pytest.raises(WDCFormatError):
+            parse_wdc_day("KPX" + " " * 117)
+
+    def test_rejects_short_record(self):
+        with pytest.raises(WDCFormatError):
+            parse_wdc_day("DST2305*01")
+
+    def test_rejects_missing_star(self):
+        record = format_wdc_day(Epoch.from_calendar(2023, 5, 1), hourly())
+        with pytest.raises(WDCFormatError):
+            parse_wdc_day(record[:7] + "#" + record[8:])
+
+
+class TestWholeIndex:
+    def test_index_round_trip(self):
+        start = Epoch.from_calendar(2023, 5, 1)
+        values = [-10.0 - (i % 30) for i in range(72)]
+        dst = DstIndex.from_hourly(start, values)
+        text = format_wdc(dst)
+        back = parse_wdc(text)
+        assert len(back) == 72
+        assert list(back.series.values) == pytest.approx(values)
+
+    def test_partial_day_padded_with_missing(self):
+        start = Epoch.from_calendar(2023, 5, 1)
+        dst = DstIndex.from_hourly(start, [-10.0] * 30)  # 1.25 days
+        text = format_wdc(dst)
+        assert len(text.splitlines()) == 2
+        back = parse_wdc(text)
+        assert back.missing_hours() == 18
+
+    def test_unordered_records_ok(self):
+        start = Epoch.from_calendar(2023, 5, 1)
+        dst = DstIndex.from_hourly(start, [-float(i) for i in range(48)])
+        lines = format_wdc(dst).splitlines()
+        back = parse_wdc("\n".join(reversed(lines)))
+        assert list(back.series.values) == pytest.approx(
+            [-float(i) for i in range(48)]
+        )
+
+    def test_empty_index(self):
+        assert format_wdc(DstIndex(DstIndex.from_hourly(
+            Epoch.from_calendar(2023, 1, 1), []).series)) == ""
+
+    def test_parse_skips_blank_lines(self):
+        start = Epoch.from_calendar(2023, 5, 1)
+        dst = DstIndex.from_hourly(start, [-10.0] * 24)
+        text = "\n" + format_wdc(dst) + "\n\n"
+        assert len(parse_wdc(text)) == 24

@@ -1,0 +1,144 @@
+"""Unit tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.io import DataStore
+from repro.io.csvio import write_dst_csv
+from repro.spaceweather import DstIndex
+from repro.spaceweather.wdc import format_wdc
+from repro.time import Epoch
+from repro.tle import SatelliteCatalog
+
+from tests.core.helpers import record
+
+
+@pytest.fixture
+def dst_csv(tmp_path):
+    hours = np.arange(24 * 90)
+    values = -10.0 + 3.0 * np.sin(0.7 * hours)
+    values[1000:1005] = -150.0
+    dst = DstIndex.from_hourly(Epoch.from_calendar(2023, 1, 1), values)
+    path = tmp_path / "dst.csv"
+    with path.open("w") as handle:
+        write_dst_csv(dst, handle)
+    return path
+
+
+@pytest.fixture
+def cache(tmp_path, dst_csv):
+    store = DataStore(tmp_path / "cache")
+    from repro.io.csvio import read_dst_csv
+
+    store.save_dst(read_dst_csv(dst_csv.read_text()))
+    catalog = SatelliteCatalog()
+    for day in range(90):
+        catalog.add(record(44713, float(day), 550.0))
+    # One decaying satellite for the analyze report.
+    for day in range(40):
+        catalog.add(record(44800, float(day), 550.0))
+    for day in range(40, 90):
+        catalog.add(record(44800, float(day), 550.0 - (day - 40) * 1.5))
+    store.save_catalog(catalog)
+    return store.root
+
+
+class TestStormsCommand:
+    def test_csv_input(self, dst_csv, capsys):
+        assert main(["storms", "--dst", str(dst_csv)]) == 0
+        out = capsys.readouterr().out
+        assert "Storm episodes" in out
+        assert "-150" in out
+
+    def test_wdc_input(self, tmp_path, capsys):
+        dst = DstIndex.from_hourly(
+            Epoch.from_calendar(2023, 1, 1), [-10.0] * 30 + [-120.0] * 4 + [-10.0] * 14
+        )
+        path = tmp_path / "dst.wdc"
+        path.write_text(format_wdc(dst))
+        assert main(["storms", "--dst", str(path), "--threshold", "-100"]) == 0
+        out = capsys.readouterr().out
+        assert "MODERATE" in out
+
+    def test_explicit_threshold(self, dst_csv, capsys):
+        assert main(["storms", "--dst", str(dst_csv), "--threshold", "-100"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("MODERATE") == 1
+
+    def test_missing_file(self, tmp_path, capsys):
+        assert main(["storms", "--dst", str(tmp_path / "nope.csv")]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestCleanCommand:
+    def test_clean_from_cache(self, cache, capsys):
+        assert main(["clean", "--cache", str(cache)]) == 0
+        out = capsys.readouterr().out
+        assert "Cleaning report" in out
+        assert "satellites kept" in out
+
+    def test_clean_requires_input(self, capsys):
+        assert main(["clean"]) == 1
+        assert "no TLEs" in capsys.readouterr().err
+
+
+class TestAnalyzeCommand:
+    def test_analyze_from_cache(self, cache, capsys):
+        assert main(["analyze", "--cache", str(cache)]) == 0
+        out = capsys.readouterr().out
+        assert "Storm episodes" in out
+        assert "Permanent decays" in out
+        assert "44800" in out
+
+    def test_analyze_requires_data(self, capsys):
+        assert main(["analyze"]) == 1
+        assert "no data" in capsys.readouterr().err
+
+
+class TestSimulateCommand:
+    def test_simulate_quickstart(self, tmp_path, capsys):
+        out_dir = tmp_path / "generated"
+        assert main(["simulate", "--scenario", "quickstart", "--out", str(out_dir)]) == 0
+        assert (out_dir / "dst.csv").exists()
+        assert (out_dir / "catalog_numbers.txt").exists()
+        assert "quickstart" in capsys.readouterr().out
+
+    def test_simulated_cache_analyzes(self, tmp_path, capsys):
+        out_dir = tmp_path / "generated"
+        main(["simulate", "--scenario", "quickstart", "--out", str(out_dir)])
+        capsys.readouterr()
+        assert main(["analyze", "--cache", str(out_dir)]) == 0
+        assert "closely after" in capsys.readouterr().out
+
+
+class TestLifetimeCommand:
+    def test_staging_altitude(self, capsys):
+        assert main(["lifetime", "--altitude", "350"]) == 0
+        out = capsys.readouterr().out
+        assert "re-entry in" in out
+
+    def test_storm_multiplier_shortens(self, capsys):
+        main(["lifetime", "--altitude", "450"])
+        quiet_out = capsys.readouterr().out
+        main(["lifetime", "--altitude", "450", "--density-multiplier", "5"])
+        storm_out = capsys.readouterr().out
+        quiet_days = float(quiet_out.split("re-entry in ")[1].split(" days")[0])
+        storm_days = float(storm_out.split("re-entry in ")[1].split(" days")[0])
+        assert storm_days < quiet_days
+
+    def test_truncation_reported(self, capsys):
+        assert main(["lifetime", "--altitude", "550", "--max-days", "10"]) == 0
+        assert "no re-entry within" in capsys.readouterr().out
+
+
+class TestTriggersCommand:
+    def test_campaigns_listed(self, dst_csv, capsys):
+        assert main(["triggers", "--dst", str(dst_csv)]) == 0
+        out = capsys.readouterr().out
+        assert "Measurement campaigns" in out
+        assert "-150" in out
+
+    def test_threshold_override(self, dst_csv, capsys):
+        assert main(["triggers", "--dst", str(dst_csv), "--threshold", "-100"]) == 0
+        assert "-100.0 nT" in capsys.readouterr().out

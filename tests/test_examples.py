@@ -1,0 +1,42 @@
+"""Smoke tests: the fast example scripts must run cleanly end to end.
+
+The heavyweight examples (paper-window scenarios) are exercised through
+the benchmark suite; here the quick ones run as subprocesses so import
+errors, API drift, or crashes in example code fail the test suite.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+FAST_EXAMPLES = (
+    "tle_roundtrip.py",
+    "quickstart.py",
+    "constellation_monitor.py",
+    "file_formats_workflow.py",
+    "future_work_extensions.py",
+)
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "examples must print their findings"
+
+
+def test_all_examples_have_docstrings_and_main():
+    for script in EXAMPLES.glob("*.py"):
+        text = script.read_text()
+        assert text.startswith("#!/usr/bin/env python3"), script.name
+        assert '"""' in text.split("\n", 2)[1] + text.split("\n", 2)[2], script.name
+        assert 'if __name__ == "__main__":' in text, script.name

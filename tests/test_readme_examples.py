@@ -1,0 +1,31 @@
+"""Guard: the README's code snippets must keep working."""
+
+import pathlib
+import re
+
+import pytest
+
+README = pathlib.Path(__file__).parent.parent / "README.md"
+
+
+def python_blocks():
+    text = README.read_text()
+    return re.findall(r"```python\n(.*?)```", text, re.DOTALL)
+
+
+class TestReadme:
+    def test_readme_exists_with_sections(self):
+        text = README.read_text()
+        for heading in ("## Install", "## Quickstart", "## Architecture"):
+            assert heading in text
+
+    @pytest.mark.parametrize("block_index", range(len(python_blocks())))
+    def test_python_snippets_execute(self, block_index):
+        block = python_blocks()[block_index]
+        namespace: dict = {}
+        exec(compile(block, f"README.md[{block_index}]", "exec"), namespace)
+
+    def test_examples_listed_exist(self):
+        text = README.read_text()
+        for match in re.findall(r"python (examples/\w+\.py)", text):
+            assert (README.parent / match).exists(), match

@@ -1,0 +1,115 @@
+"""Unit tests for the Epoch value type."""
+
+import pytest
+
+from repro.errors import TimeError
+from repro.time import Epoch
+
+
+class TestConstruction:
+    def test_from_calendar_and_unix_agree(self):
+        a = Epoch.from_calendar(2023, 1, 1)
+        b = Epoch.from_unix(1672531200.0)
+        assert a.jd == pytest.approx(b.jd)
+
+    def test_from_iso_date_only(self):
+        assert Epoch.from_iso("2023-06-15") == Epoch.from_calendar(2023, 6, 15)
+
+    def test_from_iso_with_time(self):
+        e = Epoch.from_iso("2023-06-15T08:30:45")
+        assert e.calendar()[:5] == (2023, 6, 15, 8, 30)
+
+    def test_from_iso_space_separator_and_z(self):
+        e = Epoch.from_iso("2023-06-15 08:30Z")
+        assert e.calendar()[:5] == (2023, 6, 15, 8, 30)
+
+    def test_from_iso_rejects_garbage(self):
+        with pytest.raises(TimeError):
+            Epoch.from_iso("not a date")
+
+    def test_from_iso_rejects_bad_month(self):
+        with pytest.raises(TimeError):
+            Epoch.from_iso("2023-13-01")
+
+
+class TestTleEpoch:
+    def test_2000s_year(self):
+        e = Epoch.from_tle_epoch(23, 1.5)
+        assert e.calendar()[:4] == (2023, 1, 1, 12)
+
+    def test_1900s_year(self):
+        e = Epoch.from_tle_epoch(80, 275.98708465)
+        assert e.year == 1980
+
+    def test_cutover_is_57(self):
+        assert Epoch.from_tle_epoch(57, 1.0).year == 1957
+        assert Epoch.from_tle_epoch(56, 1.0).year == 2056
+
+    def test_round_trip(self):
+        e = Epoch.from_calendar(2024, 3, 15, 18, 45, 30.0)
+        year2, doy = e.to_tle_epoch()
+        back = Epoch.from_tle_epoch(year2, doy)
+        assert back.unix == pytest.approx(e.unix, abs=1e-3)
+
+    def test_rejects_year_out_of_range(self):
+        with pytest.raises(TimeError):
+            Epoch.from_tle_epoch(-1, 1.0)
+
+    def test_rejects_day_out_of_range(self):
+        with pytest.raises(TimeError):
+            Epoch.from_tle_epoch(23, 366.5)  # 2023 is not a leap year
+
+    def test_leap_year_day_366_ok(self):
+        assert Epoch.from_tle_epoch(24, 366.25).year == 2024
+
+
+class TestArithmetic:
+    def test_add_days(self):
+        e = Epoch.from_calendar(2023, 1, 1)
+        assert e.add_days(31.0).calendar()[:3] == (2023, 2, 1)
+
+    def test_add_hours(self):
+        e = Epoch.from_calendar(2023, 1, 1)
+        assert e.add_hours(25.0).calendar()[:4] == (2023, 1, 2, 1)
+
+    def test_add_seconds(self):
+        e = Epoch.from_calendar(2023, 1, 1)
+        assert e.add_seconds(90.0).calendar()[:5] == (2023, 1, 1, 0, 1)
+
+    def test_days_since(self):
+        a = Epoch.from_calendar(2023, 1, 1)
+        b = Epoch.from_calendar(2023, 1, 11)
+        assert b.days_since(a) == pytest.approx(10.0)
+        assert a.days_since(b) == pytest.approx(-10.0)
+
+    def test_hours_since(self):
+        a = Epoch.from_calendar(2023, 1, 1)
+        assert a.add_hours(7.0).hours_since(a) == pytest.approx(7.0)
+
+
+class TestOrderingAndRendering:
+    def test_ordering(self):
+        a = Epoch.from_calendar(2023, 1, 1)
+        b = Epoch.from_calendar(2023, 1, 2)
+        assert a < b
+        assert b > a
+        assert a <= a
+
+    def test_equality_and_hash(self):
+        a = Epoch.from_calendar(2023, 1, 1)
+        b = Epoch.from_unix(a.unix)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_isoformat(self):
+        e = Epoch.from_calendar(2024, 5, 10, 17, 0, 0.0)
+        assert e.isoformat() == "2024-05-10T17:00:00"
+
+    def test_isoformat_second_rounding_boundary(self):
+        # Just below a minute boundary must not loop or render ":60".
+        e = Epoch.from_calendar(2023, 1, 1, 0, 0, 59.9999999)
+        text = e.isoformat()
+        assert ":60" not in text
+
+    def test_repr_contains_iso(self):
+        assert "2023-01-01" in repr(Epoch.from_calendar(2023, 1, 1))

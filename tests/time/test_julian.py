@@ -1,0 +1,134 @@
+"""Unit tests for Julian date arithmetic."""
+
+import math
+
+import pytest
+
+from repro.errors import TimeError
+from repro.time import julian
+
+
+class TestLeapYears:
+    def test_regular_leap_year(self):
+        assert julian.is_leap_year(2020)
+
+    def test_non_leap_year(self):
+        assert not julian.is_leap_year(2023)
+
+    def test_century_not_leap(self):
+        assert not julian.is_leap_year(1900)
+
+    def test_quadricentennial_leap(self):
+        assert julian.is_leap_year(2000)
+
+    def test_days_in_year(self):
+        assert julian.days_in_year(2020) == 366
+        assert julian.days_in_year(2023) == 365
+
+    def test_days_in_month_february(self):
+        assert julian.days_in_month(2020, 2) == 29
+        assert julian.days_in_month(2023, 2) == 28
+
+    def test_days_in_month_invalid(self):
+        with pytest.raises(TimeError):
+            julian.days_in_month(2023, 13)
+
+
+class TestCalendarToJd:
+    def test_j2000_epoch(self):
+        # 2000-01-01 12:00 TT is JD 2451545.0 by definition.
+        assert julian.calendar_to_jd(2000, 1, 1, 12) == pytest.approx(2451545.0)
+
+    def test_unix_epoch(self):
+        assert julian.calendar_to_jd(1970, 1, 1) == pytest.approx(2440587.5)
+
+    def test_known_date(self):
+        # Vallado example: 1996-10-26 14:20:00 -> JD 2450383.09722222.
+        jd = julian.calendar_to_jd(1996, 10, 26, 14, 20, 0.0)
+        assert jd == pytest.approx(2450383.09722222, abs=1e-7)
+
+    def test_rejects_bad_month(self):
+        with pytest.raises(TimeError):
+            julian.calendar_to_jd(2023, 0, 1)
+
+    def test_rejects_bad_day(self):
+        with pytest.raises(TimeError):
+            julian.calendar_to_jd(2023, 2, 29)
+
+    def test_rejects_bad_time(self):
+        with pytest.raises(TimeError):
+            julian.calendar_to_jd(2023, 1, 1, 24, 0, 0.0)
+
+
+class TestJdToCalendar:
+    def test_round_trip_noon(self):
+        jd = julian.calendar_to_jd(2024, 5, 10, 12, 30, 15.5)
+        y, m, d, hh, mm, ss = julian.jd_to_calendar(jd)
+        assert (y, m, d, hh, mm) == (2024, 5, 10, 12, 30)
+        assert ss == pytest.approx(15.5, abs=1e-3)
+
+    def test_round_trip_midnight(self):
+        jd = julian.calendar_to_jd(2020, 1, 1)
+        y, m, d, hh, mm, ss = julian.jd_to_calendar(jd)
+        assert (y, m, d, hh, mm) == (2020, 1, 1, 0, 0)
+        assert ss == pytest.approx(0.0, abs=1e-3)
+
+    def test_end_of_year_boundary(self):
+        jd = julian.calendar_to_jd(2023, 12, 31, 23, 59, 59.0)
+        y, m, d, hh, mm, ss = julian.jd_to_calendar(jd)
+        assert (y, m, d, hh, mm) == (2023, 12, 31, 23, 59)
+
+    def test_leap_day(self):
+        jd = julian.calendar_to_jd(2024, 2, 29, 6)
+        assert julian.jd_to_calendar(jd)[:4] == (2024, 2, 29, 6)
+
+
+class TestUnixConversions:
+    def test_unix_zero(self):
+        assert julian.jd_to_unix(julian.calendar_to_jd(1970, 1, 1)) == pytest.approx(0.0)
+
+    def test_known_unix(self):
+        # 2023-01-01T00:00:00Z = 1672531200.
+        jd = julian.calendar_to_jd(2023, 1, 1)
+        assert julian.jd_to_unix(jd) == pytest.approx(1672531200.0)
+
+    def test_round_trip(self):
+        t = 1_700_000_123.456
+        assert julian.jd_to_unix(julian.unix_to_jd(t)) == pytest.approx(t, abs=1e-3)
+
+
+class TestDayOfYear:
+    def test_january_first(self):
+        assert julian.day_of_year(2023, 1, 1) == 1
+
+    def test_december_last_common(self):
+        assert julian.day_of_year(2023, 12, 31) == 365
+
+    def test_december_last_leap(self):
+        assert julian.day_of_year(2024, 12, 31) == 366
+
+    def test_inverse(self):
+        assert julian.year_doy_to_month_day(2024, 61) == (3, 1)  # leap year
+
+    def test_inverse_rejects_out_of_range(self):
+        with pytest.raises(TimeError):
+            julian.year_doy_to_month_day(2023, 366)
+
+
+class TestGmst:
+    def test_gmst_range(self):
+        theta = julian.gmst_rad(2451545.0)
+        assert 0.0 <= theta < 2 * math.pi
+
+    def test_gmst_j2000(self):
+        # GMST at J2000.0 is ~280.46 degrees.
+        theta = math.degrees(julian.gmst_rad(2451545.0))
+        assert theta == pytest.approx(280.46, abs=0.01)
+
+    def test_gmst_advances_faster_than_solar(self):
+        # Sidereal day is ~3m56s shorter: after one solar day GMST
+        # advances by ~0.9856 degrees beyond a full turn.
+        t0 = julian.gmst_rad(2451545.0)
+        t1 = julian.gmst_rad(2451546.0)
+        advance = math.degrees((t1 - t0) % (2 * math.pi))
+        assert advance == pytest.approx(0.9856, abs=0.001)

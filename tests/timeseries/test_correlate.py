@@ -1,0 +1,65 @@
+"""Unit tests for lagged cross-correlation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TimeSeriesError
+from repro.timeseries import TimeSeries, lag_correlation
+
+
+def sine_series(n=500, step=3600.0, phase_s=0.0, period_s=100 * 3600.0):
+    times = step * np.arange(n)
+    values = np.sin(2 * np.pi * (times - phase_s) / period_s)
+    return TimeSeries(times, values)
+
+
+class TestLagCorrelation:
+    def test_zero_lag_for_identical_series(self):
+        s = sine_series()
+        result = lag_correlation(s, s, max_lag_s=20 * 3600.0, step_s=3600.0)
+        assert result.best_lag_s == 0.0
+        assert result.best_correlation == pytest.approx(1.0, abs=1e-6)
+
+    def test_recovers_known_lag(self):
+        a = sine_series()
+        b = sine_series(phase_s=7 * 3600.0)  # b follows a by 7 hours
+        result = lag_correlation(a, b, max_lag_s=20 * 3600.0, step_s=3600.0)
+        assert result.best_lag_s == pytest.approx(7 * 3600.0)
+        assert result.best_correlation > 0.99
+
+    def test_correlation_profile_shape(self):
+        a = sine_series()
+        b = sine_series(phase_s=5 * 3600.0)
+        result = lag_correlation(a, b, max_lag_s=10 * 3600.0, step_s=3600.0)
+        # Correlation improves toward the true lag, degrades past it.
+        idx = list(result.lags_s).index(5 * 3600.0)
+        assert result.correlations[idx] > result.correlations[0]
+        assert result.correlations[idx] > result.correlations[-1]
+
+    def test_uncorrelated_series(self):
+        rng = np.random.default_rng(3)
+        times = 3600.0 * np.arange(400)
+        a = TimeSeries(times, rng.normal(size=400))
+        b = TimeSeries(times, rng.normal(size=400))
+        result = lag_correlation(a, b, max_lag_s=10 * 3600.0, step_s=3600.0)
+        assert abs(result.best_correlation) < 0.3
+
+    def test_nan_tolerant(self):
+        a = sine_series()
+        values = a.values.copy()
+        values[50:70] = np.nan
+        gappy = TimeSeries(a.times, values)
+        result = lag_correlation(a, gappy, max_lag_s=5 * 3600.0, step_s=3600.0)
+        assert result.best_lag_s == 0.0
+
+    def test_rejects_bad_parameters(self):
+        s = sine_series()
+        with pytest.raises(TimeSeriesError):
+            lag_correlation(s, s, max_lag_s=-1.0, step_s=3600.0)
+        with pytest.raises(TimeSeriesError):
+            lag_correlation(s, s, max_lag_s=3600.0, step_s=0.0)
+
+    def test_rejects_empty(self):
+        s = sine_series()
+        with pytest.raises(TimeSeriesError):
+            lag_correlation(TimeSeries.empty(), s, max_lag_s=1.0, step_s=1.0)

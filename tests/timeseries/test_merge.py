@@ -1,0 +1,90 @@
+"""Unit tests for multi-modal merge/align operations."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TimeSeriesError
+from repro.timeseries import TimeSeries, align_to, interleave, merge_series
+from repro.timeseries.merge import common_window
+
+
+class TestAlignTo:
+    def test_locf_alignment(self):
+        s = TimeSeries([0.0, 100.0], [1.0, 2.0])
+        aligned = align_to(s, [50.0, 100.0, 150.0])
+        assert list(aligned.values) == [1.0, 2.0, 2.0]
+
+    def test_before_first_sample_is_nan(self):
+        s = TimeSeries([100.0], [1.0])
+        aligned = align_to(s, [0.0, 100.0])
+        assert np.isnan(aligned.values[0])
+        assert aligned.values[1] == 1.0
+
+    def test_max_age(self):
+        s = TimeSeries([0.0], [1.0])
+        aligned = align_to(s, [10.0, 1000.0], max_age_s=100.0)
+        assert aligned.values[0] == 1.0
+        assert np.isnan(aligned.values[1])
+
+    def test_empty_source_gives_all_nan(self):
+        aligned = align_to(TimeSeries.empty(), [0.0, 1.0])
+        assert np.isnan(aligned.values).all()
+
+    def test_rejects_unsorted_reference(self):
+        s = TimeSeries([0.0], [1.0])
+        with pytest.raises(TimeSeriesError):
+            align_to(s, [1.0, 0.0])
+
+
+class TestMergeSeries:
+    def test_union(self):
+        a = TimeSeries([0.0, 2.0], [1.0, 3.0])
+        b = TimeSeries([1.0], [2.0])
+        merged = merge_series(a, b)
+        assert list(merged.times) == [0.0, 1.0, 2.0]
+
+    def test_b_wins_on_overlap(self):
+        a = TimeSeries([0.0], [1.0])
+        b = TimeSeries([0.0], [99.0])
+        assert merge_series(a, b).values[0] == 99.0
+
+    def test_merge_with_empty(self):
+        a = TimeSeries([0.0], [1.0])
+        assert merge_series(a, TimeSeries.empty()) == a
+        assert merge_series(TimeSeries.empty(), a) == a
+
+    def test_merge_both_empty(self):
+        assert len(merge_series(TimeSeries.empty(), TimeSeries.empty())) == 0
+
+
+class TestInterleave:
+    def test_ordering(self):
+        a = TimeSeries([0.0, 2.0], [1.0, 1.0])
+        b = TimeSeries([1.0], [2.0])
+        events = interleave([("a", a), ("b", b)])
+        assert [e[1] for e in events] == ["a", "b", "a"]
+
+    def test_tie_broken_by_label(self):
+        a = TimeSeries([0.0], [1.0])
+        b = TimeSeries([0.0], [2.0])
+        events = interleave([("zz", b), ("aa", a)])
+        assert [e[1] for e in events] == ["aa", "zz"]
+
+    def test_empty_streams(self):
+        assert interleave([("a", TimeSeries.empty())]) == []
+
+
+class TestCommonWindow:
+    def test_overlap(self):
+        a = TimeSeries([0.0, 10.0], [1.0, 1.0])
+        b = TimeSeries([5.0, 20.0], [1.0, 1.0])
+        assert common_window([a, b]) == (5.0, 10.0)
+
+    def test_no_overlap(self):
+        a = TimeSeries([0.0, 1.0], [1.0, 1.0])
+        b = TimeSeries([5.0, 6.0], [1.0, 1.0])
+        assert common_window([a, b]) is None
+
+    def test_empty_series_means_none(self):
+        a = TimeSeries([0.0, 1.0], [1.0, 1.0])
+        assert common_window([a, TimeSeries.empty()]) is None

@@ -1,0 +1,76 @@
+"""Unit tests for resampling and gap filling."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TimeSeriesError
+from repro.timeseries import TimeSeries, fill_gaps, resample_hourly, resample_mean
+from repro.timeseries.resample import resample_regular
+
+
+class TestResampleRegular:
+    def test_hourly_grid(self):
+        s = TimeSeries([0.0, 5400.0], [1.0, 2.0])
+        hourly = resample_hourly(s)
+        assert list(hourly.times) == [0.0, 3600.0]
+        assert list(hourly.values) == [1.0, 1.0]
+
+    def test_grid_snaps_to_step_boundary(self):
+        s = TimeSeries([100.0, 7300.0], [1.0, 2.0])
+        r = resample_regular(s, 3600.0)
+        assert r.times[0] == 0.0
+
+    def test_leading_nan_before_first_sample(self):
+        s = TimeSeries([1800.0], [5.0])
+        r = resample_regular(s, 3600.0)
+        assert np.isnan(r.values[0])
+
+    def test_rejects_nonpositive_step(self):
+        with pytest.raises(TimeSeriesError):
+            resample_regular(TimeSeries([0.0], [1.0]), 0.0)
+
+    def test_empty(self):
+        assert len(resample_hourly(TimeSeries.empty())) == 0
+
+
+class TestResampleMean:
+    def test_bucket_means(self):
+        s = TimeSeries([0.0, 10.0, 100.0], [1.0, 3.0, 10.0])
+        r = resample_mean(s, 60.0)
+        assert r.values[0] == pytest.approx(2.0)
+        assert r.values[1] == pytest.approx(10.0)
+
+    def test_empty_bucket_is_nan(self):
+        s = TimeSeries([0.0, 130.0], [1.0, 2.0])
+        r = resample_mean(s, 60.0)
+        assert np.isnan(r.values[1])
+
+    def test_nan_samples_ignored(self):
+        s = TimeSeries([0.0, 10.0], [float("nan"), 4.0])
+        r = resample_mean(s, 60.0)
+        assert r.values[0] == pytest.approx(4.0)
+
+
+class TestFillGaps:
+    def test_fills_short_gap(self):
+        s = TimeSeries([0.0, 1.0, 2.0], [0.0, float("nan"), 2.0])
+        filled = fill_gaps(s, max_gap_s=5.0)
+        assert filled.values[1] == pytest.approx(1.0)
+
+    def test_leaves_long_gap(self):
+        s = TimeSeries([0.0, 100.0, 200.0], [0.0, float("nan"), 2.0])
+        filled = fill_gaps(s, max_gap_s=50.0)
+        assert np.isnan(filled.values[1])
+
+    def test_edge_nans_not_filled(self):
+        s = TimeSeries([0.0, 1.0], [float("nan"), 1.0])
+        filled = fill_gaps(s, max_gap_s=100.0)
+        assert np.isnan(filled.values[0])
+
+    def test_no_gaps_is_identity(self):
+        s = TimeSeries([0.0, 1.0], [1.0, 2.0])
+        assert fill_gaps(s, max_gap_s=10.0) == s
+
+    def test_all_nan_unchanged(self):
+        s = TimeSeries([0.0, 1.0], [float("nan"), float("nan")])
+        assert np.isnan(fill_gaps(s, max_gap_s=10.0).values).all()

@@ -1,0 +1,176 @@
+"""Unit tests for the TimeSeries container."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TimeSeriesError
+from repro.time import Epoch
+from repro.timeseries import TimeSeries
+
+
+def make(times, values):
+    return TimeSeries(times, values)
+
+
+class TestConstruction:
+    def test_basic(self):
+        s = make([0.0, 1.0, 2.0], [10.0, 20.0, 30.0])
+        assert len(s) == 3
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(TimeSeriesError):
+            make([0.0, 1.0], [1.0])
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(TimeSeriesError):
+            make([1.0, 0.0], [1.0, 2.0])
+
+    def test_rejects_duplicate_times(self):
+        with pytest.raises(TimeSeriesError):
+            make([1.0, 1.0], [1.0, 2.0])
+
+    def test_rejects_nan_times(self):
+        with pytest.raises(TimeSeriesError):
+            make([0.0, float("nan")], [1.0, 2.0])
+
+    def test_rejects_2d(self):
+        with pytest.raises(TimeSeriesError):
+            TimeSeries(np.zeros((2, 2)), np.zeros((2, 2)))
+
+    def test_empty(self):
+        assert len(TimeSeries.empty()) == 0
+
+    def test_from_pairs_sorts_and_dedupes(self):
+        s = TimeSeries.from_pairs([(2.0, 20.0), (1.0, 10.0), (2.0, 99.0)])
+        assert list(s.times) == [1.0, 2.0]
+        assert list(s.values) == [10.0, 99.0]  # last value wins
+
+    def test_from_epochs(self):
+        epochs = [Epoch.from_calendar(2023, 1, d) for d in (1, 2, 3)]
+        s = TimeSeries.from_epochs(epochs, [1.0, 2.0, 3.0])
+        assert len(s) == 3
+        assert s.start == epochs[0]
+
+    def test_arrays_are_read_only(self):
+        s = make([0.0, 1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            s.times[0] = 99.0
+        with pytest.raises(ValueError):
+            s.values[0] = 99.0
+
+    def test_input_arrays_are_copied(self):
+        t = np.array([0.0, 1.0])
+        v = np.array([1.0, 2.0])
+        s = TimeSeries(t, v)
+        t[0] = 99.0
+        assert s.times[0] == 0.0
+
+
+class TestAccessors:
+    def test_value_at_locf(self):
+        s = make([0.0, 10.0, 20.0], [1.0, 2.0, 3.0])
+        assert s.value_at(15.0) == 2.0
+        assert s.value_at(10.0) == 2.0  # inclusive at the sample
+
+    def test_value_at_before_start_is_nan(self):
+        s = make([10.0], [1.0])
+        assert np.isnan(s.value_at(5.0))
+
+    def test_value_at_max_age(self):
+        s = make([0.0], [1.0])
+        assert s.value_at(100.0, max_age_s=50.0) != s.value_at(100.0)
+        assert np.isnan(s.value_at(100.0, max_age_s=50.0))
+
+    def test_interp_at(self):
+        s = make([0.0, 10.0], [0.0, 10.0])
+        assert s.interp_at(5.0) == pytest.approx(5.0)
+
+    def test_interp_outside_span_is_nan(self):
+        s = make([0.0, 10.0], [0.0, 10.0])
+        assert np.isnan(s.interp_at(-1.0))
+        assert np.isnan(s.interp_at(11.0))
+
+    def test_start_end(self):
+        s = make([0.0, 86400.0], [1.0, 2.0])
+        assert s.start == Epoch.from_unix(0.0)
+        assert s.end == Epoch.from_unix(86400.0)
+
+    def test_start_on_empty_raises(self):
+        with pytest.raises(TimeSeriesError):
+            _ = TimeSeries.empty().start
+
+
+class TestTransformations:
+    def test_slice_half_open(self):
+        s = make([0.0, 1.0, 2.0, 3.0], [0.0, 1.0, 2.0, 3.0])
+        sub = s.slice(1.0, 3.0)
+        assert list(sub.times) == [1.0, 2.0]
+
+    def test_slice_with_epochs(self):
+        t0 = Epoch.from_calendar(2023, 1, 1)
+        s = TimeSeries([t0.unix, t0.add_days(1).unix], [1.0, 2.0])
+        assert len(s.slice(t0.add_hours(1), None)) == 1
+
+    def test_map(self):
+        s = make([0.0, 1.0], [1.0, 2.0])
+        doubled = s.map(lambda v: v * 2)
+        assert list(doubled.values) == [2.0, 4.0]
+        assert list(s.values) == [1.0, 2.0]  # original untouched
+
+    def test_map_rejects_length_change(self):
+        s = make([0.0, 1.0], [1.0, 2.0])
+        with pytest.raises(TimeSeriesError):
+            s.map(lambda v: v[:1])
+
+    def test_shift(self):
+        s = make([0.0, 1.0], [1.0, 2.0])
+        assert list(s.shift(10.0).times) == [10.0, 11.0]
+
+    def test_dropna(self):
+        s = make([0.0, 1.0, 2.0], [1.0, float("nan"), 3.0])
+        assert len(s.dropna()) == 2
+
+    def test_where(self):
+        s = make([0.0, 1.0, 2.0], [1.0, 2.0, 3.0])
+        assert list(s.where(np.array([True, False, True])).values) == [1.0, 3.0]
+
+    def test_where_rejects_bad_mask(self):
+        s = make([0.0, 1.0], [1.0, 2.0])
+        with pytest.raises(TimeSeriesError):
+            s.where(np.array([True]))
+
+    def test_diff(self):
+        s = make([0.0, 1.0, 2.0], [10.0, 15.0, 12.0])
+        d = s.diff()
+        assert list(d.times) == [1.0, 2.0]
+        assert list(d.values) == [5.0, -3.0]
+
+    def test_diff_short_series(self):
+        assert len(make([0.0], [1.0]).diff()) == 0
+
+    def test_abs(self):
+        s = make([0.0, 1.0], [-1.0, 2.0])
+        assert list(s.abs().values) == [1.0, 2.0]
+
+
+class TestReductions:
+    def test_reductions_ignore_nan(self):
+        s = make([0.0, 1.0, 2.0], [1.0, float("nan"), 3.0])
+        assert s.min() == 1.0
+        assert s.max() == 3.0
+        assert s.mean() == pytest.approx(2.0)
+        assert s.median() == pytest.approx(2.0)
+
+    def test_reductions_on_empty_are_nan(self):
+        s = TimeSeries.empty()
+        assert np.isnan(s.min())
+        assert np.isnan(s.mean())
+
+    def test_equality(self):
+        a = make([0.0, 1.0], [1.0, float("nan")])
+        b = make([0.0, 1.0], [1.0, float("nan")])
+        assert a == b
+
+    def test_iteration(self):
+        s = make([0.0, 1.0], [10.0, 20.0])
+        assert list(s) == [(0.0, 10.0), (1.0, 20.0)]

@@ -1,0 +1,89 @@
+"""Unit tests for TLE formatting."""
+
+import pytest
+
+from repro.time import Epoch
+from repro.tle import format_tle, parse_tle
+from repro.tle.format import format_tle_block
+from repro.tle.fields import verify_checksum
+
+SGP4_LINE1 = "1 88888U          80275.98708465  .00073094  13844-3  66816-4 0    87"
+SGP4_LINE2 = "2 88888  72.8435 115.9689 0086731  52.6988 110.5714 16.05824518  1058"
+
+
+class TestFormatTle:
+    def test_byte_exact_round_trip(self):
+        el = parse_tle(SGP4_LINE1, SGP4_LINE2)
+        line1, line2 = format_tle(el)
+        assert line1 == SGP4_LINE1
+        assert line2 == SGP4_LINE2
+
+    def test_lines_are_69_columns(self, sample_elements):
+        line1, line2 = format_tle(sample_elements)
+        assert len(line1) == 69
+        assert len(line2) == 69
+
+    def test_checksums_valid(self, sample_elements):
+        line1, line2 = format_tle(sample_elements)
+        assert verify_checksum(line1)
+        assert verify_checksum(line2)
+
+    def test_parse_format_parse_identity(self, sample_elements):
+        line1, line2 = format_tle(sample_elements)
+        parsed = parse_tle(line1, line2)
+        assert parsed.catalog_number == sample_elements.catalog_number
+        assert parsed.mean_motion_rev_day == pytest.approx(
+            sample_elements.mean_motion_rev_day, abs=1e-8
+        )
+        assert parsed.eccentricity == pytest.approx(
+            sample_elements.eccentricity, abs=1e-7
+        )
+        assert parsed.bstar == pytest.approx(sample_elements.bstar, rel=1e-4)
+        assert parsed.epoch.unix == pytest.approx(sample_elements.epoch.unix, abs=0.01)
+
+    def test_alpha5_catalog_number(self, sample_elements):
+        from dataclasses import replace
+
+        el = replace(sample_elements, catalog_number=123456)
+        line1, line2 = format_tle(el)
+        assert parse_tle(line1, line2).catalog_number == 123456
+
+    def test_negative_bstar(self, sample_elements):
+        from dataclasses import replace
+
+        el = replace(sample_elements, bstar=-2.5e-5)
+        line1, _ = format_tle(el)
+        parsed_line2 = format_tle(el)[1]
+        assert parse_tle(line1, parsed_line2).bstar == pytest.approx(-2.5e-5, rel=1e-4)
+
+    def test_angles_wrapped(self, sample_elements):
+        from dataclasses import replace
+
+        el = replace(sample_elements, raan_deg=365.0)
+        line1, line2 = format_tle(el)
+        assert parse_tle(line1, line2).raan_deg == pytest.approx(5.0, abs=1e-4)
+
+
+class TestFormatBlock:
+    def test_block_without_names(self, sample_elements):
+        text = format_tle_block([sample_elements, sample_elements])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0][0] == "1"
+
+    def test_block_with_names(self, sample_elements):
+        text = format_tle_block(
+            [sample_elements], names={sample_elements.catalog_number: "STARLINK-1007"}
+        )
+        assert text.splitlines()[0] == "STARLINK-1007"
+
+    def test_empty_block(self):
+        assert format_tle_block([]) == ""
+
+    def test_block_parses_back(self, sample_elements):
+        from repro.tle import parse_tle_file
+
+        text = format_tle_block([sample_elements] * 3)
+        report = parse_tle_file(text.splitlines())
+        assert report.parsed_count == 3
+        assert report.error_count == 0

@@ -1,0 +1,79 @@
+"""Unit tests for the OMM interchange format."""
+
+import json
+
+import pytest
+
+from repro.errors import TLEFieldError, TLEFormatError
+from repro.tle.omm import elements_from_omm, format_omm_json, omm_dict, parse_omm_json
+
+
+class TestOmmRoundTrip:
+    def test_dict_round_trip(self, sample_elements):
+        back = elements_from_omm(omm_dict(sample_elements))
+        assert back.catalog_number == sample_elements.catalog_number
+        assert back.mean_motion_rev_day == sample_elements.mean_motion_rev_day
+        assert back.eccentricity == sample_elements.eccentricity
+        assert back.bstar == sample_elements.bstar
+        assert abs(back.epoch.unix - sample_elements.epoch.unix) < 1.0
+
+    def test_json_round_trip(self, sample_elements):
+        text = format_omm_json([sample_elements, sample_elements])
+        parsed = parse_omm_json(text)
+        assert len(parsed) == 2
+        assert parsed[0].catalog_number == sample_elements.catalog_number
+
+    def test_json_fields_spacetrack_vocabulary(self, sample_elements):
+        record = json.loads(format_omm_json([sample_elements]))[0]
+        for field in ("NORAD_CAT_ID", "MEAN_MOTION", "RA_OF_ASC_NODE", "BSTAR"):
+            assert field in record
+
+    def test_tle_and_omm_agree(self, sample_elements):
+        from repro.tle import format_tle, parse_tle
+
+        via_tle = parse_tle(*format_tle(sample_elements))
+        via_omm = elements_from_omm(omm_dict(sample_elements))
+        assert via_tle.altitude_km == pytest.approx(via_omm.altitude_km, abs=1e-6)
+
+
+class TestOmmValidation:
+    def test_missing_field(self, sample_elements):
+        record = omm_dict(sample_elements)
+        del record["MEAN_MOTION"]
+        with pytest.raises(TLEFormatError, match="MEAN_MOTION"):
+            elements_from_omm(record)
+
+    def test_bad_value(self, sample_elements):
+        record = omm_dict(sample_elements)
+        record["ECCENTRICITY"] = "not-a-number"
+        with pytest.raises(TLEFieldError):
+            elements_from_omm(record)
+
+    def test_optional_fields_default(self, sample_elements):
+        record = {
+            k: v
+            for k, v in omm_dict(sample_elements).items()
+            if k in (
+                "NORAD_CAT_ID", "EPOCH", "MEAN_MOTION", "ECCENTRICITY",
+                "INCLINATION", "RA_OF_ASC_NODE", "ARG_OF_PERICENTER",
+                "MEAN_ANOMALY",
+            )
+        }
+        parsed = elements_from_omm(record)
+        assert parsed.bstar == 0.0
+        assert parsed.classification == "U"
+
+    def test_invalid_json(self):
+        with pytest.raises(TLEFormatError):
+            parse_omm_json("{not json")
+
+    def test_non_array_json(self):
+        with pytest.raises(TLEFormatError):
+            parse_omm_json('{"NORAD_CAT_ID": 1}')
+
+    def test_ingest_accepts_omm(self, sample_elements):
+        from repro.core.ingest import IngestState
+
+        state = IngestState()
+        state.add_elements(parse_omm_json(format_omm_json([sample_elements])))
+        assert state.stats.tle_records_added == 1

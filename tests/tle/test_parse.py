@@ -1,0 +1,105 @@
+"""Unit tests for TLE parsing (strict and lenient)."""
+
+import pytest
+
+from repro.errors import TLEChecksumError, TLEFormatError
+from repro.tle import parse_tle, parse_tle_file
+
+ISS_LINE1 = "1 25544U 98067A   08264.51782528 -.00002182  00000-0 -11606-4 0  2927"
+ISS_LINE2 = "2 25544  51.6416 247.4627 0006703 130.5360 325.0288 15.72125391563537"
+
+
+class TestStrictParse:
+    def test_iss_fields(self):
+        el = parse_tle(ISS_LINE1, ISS_LINE2)
+        assert el.catalog_number == 25544
+        assert el.classification == "U"
+        assert el.intl_designator == "98067A"
+        assert el.epoch.year == 2008
+        assert el.inclination_deg == pytest.approx(51.6416)
+        assert el.raan_deg == pytest.approx(247.4627)
+        assert el.eccentricity == pytest.approx(0.0006703)
+        assert el.argp_deg == pytest.approx(130.5360)
+        assert el.mean_anomaly_deg == pytest.approx(325.0288)
+        assert el.mean_motion_rev_day == pytest.approx(15.72125391)
+        assert el.ndot_over_2 == pytest.approx(-0.00002182)
+        assert el.bstar == pytest.approx(-0.11606e-4)
+        assert el.element_number == 292
+        assert el.rev_number == 56353
+
+    def test_derived_altitude(self):
+        el = parse_tle(ISS_LINE1, ISS_LINE2)
+        assert el.altitude_km == pytest.approx(347.0, abs=10.0)
+
+    def test_checksum_verified_by_default(self):
+        bad = ISS_LINE1[:-1] + "0"
+        with pytest.raises(TLEChecksumError):
+            parse_tle(bad, ISS_LINE2)
+
+    def test_checksum_can_be_skipped(self):
+        bad = ISS_LINE1[:-1] + "0"
+        el = parse_tle(bad, ISS_LINE2, verify=False)
+        assert el.catalog_number == 25544
+
+    def test_rejects_wrong_line_numbers(self):
+        with pytest.raises(TLEFormatError):
+            parse_tle(ISS_LINE2, ISS_LINE1)
+
+    def test_rejects_short_lines(self):
+        with pytest.raises(TLEFormatError):
+            parse_tle("1 25544U", ISS_LINE2)
+
+    def test_rejects_catalog_mismatch(self):
+        other = "2 00005  51.6416 247.4627 0006703 130.5360 325.0288 15.7212539156353"
+        # Recompute a matching checksum for the altered line.
+        from repro.tle.fields import append_checksum
+
+        other = append_checksum(other[:68].ljust(68))
+        with pytest.raises(TLEFormatError):
+            parse_tle(ISS_LINE1, other)
+
+    def test_trailing_newline_tolerated(self):
+        el = parse_tle(ISS_LINE1 + "\n", ISS_LINE2 + "\n")
+        assert el.catalog_number == 25544
+
+
+class TestLenientFileParse:
+    def test_plain_2le(self):
+        report = parse_tle_file([ISS_LINE1, ISS_LINE2])
+        assert report.parsed_count == 1
+        assert report.error_count == 0
+
+    def test_3le_with_name_lines(self):
+        report = parse_tle_file(["ISS (ZARYA)", ISS_LINE1, ISS_LINE2])
+        assert report.parsed_count == 1
+
+    def test_blank_lines_skipped(self):
+        report = parse_tle_file(["", ISS_LINE1, "", ISS_LINE2, ""])
+        assert report.parsed_count == 1
+
+    def test_corrupted_record_reported_not_fatal(self):
+        bad1 = ISS_LINE1[:-1] + "0"  # checksum break
+        report = parse_tle_file([bad1, ISS_LINE2, ISS_LINE1, ISS_LINE2])
+        assert report.parsed_count == 1
+        assert report.error_count == 1
+        assert report.errors[0][0] == 1  # line number of the bad record
+
+    def test_orphan_line1(self):
+        report = parse_tle_file([ISS_LINE1])
+        assert report.parsed_count == 0
+        assert report.error_count == 1
+
+    def test_orphan_line2(self):
+        report = parse_tle_file([ISS_LINE2])
+        assert report.parsed_count == 0
+        assert report.error_count == 1
+
+    def test_line1_followed_by_new_line1(self):
+        report = parse_tle_file([ISS_LINE1, ISS_LINE1, ISS_LINE2])
+        assert report.parsed_count == 1
+        assert report.error_count == 1
+
+    def test_empty_input(self):
+        report = parse_tle_file([])
+        assert report.parsed_count == 0
+        assert report.error_count == 0

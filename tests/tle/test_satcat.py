@@ -1,0 +1,106 @@
+"""Unit tests for SATCAT records."""
+
+import pytest
+
+from repro.errors import TLEFormatError
+from repro.time import Epoch
+from repro.tle.satcat import (
+    SatcatEntry,
+    filter_group,
+    format_satcat_csv,
+    parse_satcat_csv,
+)
+
+
+def entries():
+    return [
+        SatcatEntry(
+            name="STARLINK-1007",
+            intl_designator="2019-074A",
+            catalog_number=44713,
+            launch_date=Epoch.from_calendar(2019, 11, 11),
+        ),
+        SatcatEntry(
+            name="STARLINK-1008",
+            intl_designator="2019-074B",
+            catalog_number=44714,
+            ops_status="D",
+            launch_date=Epoch.from_calendar(2019, 11, 11),
+            decay_date=Epoch.from_calendar(2023, 4, 30),
+        ),
+        SatcatEntry(
+            name="FALCON 9 R/B",
+            intl_designator="2019-074Z",
+            catalog_number=44999,
+            object_type="R/B",
+        ),
+        SatcatEntry(
+            name="ONEWEB-0010",
+            intl_designator="2020-008A",
+            catalog_number=45000,
+            owner="UK",
+        ),
+    ]
+
+
+class TestCsvRoundTrip:
+    def test_round_trip(self):
+        text = format_satcat_csv(entries())
+        parsed = parse_satcat_csv(text)
+        assert len(parsed) == 4
+        assert parsed[0].name == "STARLINK-1007"
+        assert parsed[0].catalog_number == 44713
+        assert parsed[1].decay_date is not None
+        assert parsed[2].object_type == "R/B"
+
+    def test_dates_preserved(self):
+        parsed = parse_satcat_csv(format_satcat_csv(entries()))
+        assert parsed[0].launch_date.calendar()[:3] == (2019, 11, 11)
+        assert parsed[0].decay_date is None
+
+    def test_rejects_non_satcat(self):
+        with pytest.raises(TLEFormatError):
+            parse_satcat_csv("a,b,c\n1,2,3\n")
+
+    def test_rejects_bad_catalog_number(self):
+        text = format_satcat_csv(entries()).replace("44713", "not-a-number")
+        with pytest.raises(TLEFormatError):
+            parse_satcat_csv(text)
+
+    def test_header_only(self):
+        header = format_satcat_csv([])
+        assert parse_satcat_csv(header) == []
+
+
+class TestEntrySemantics:
+    def test_payload(self):
+        assert entries()[0].is_payload
+        assert not entries()[2].is_payload
+
+    def test_on_orbit(self):
+        assert entries()[0].on_orbit
+        assert not entries()[1].on_orbit  # decayed
+
+
+class TestGroupFilter:
+    def test_starlink_group(self):
+        group = filter_group(entries(), name_prefix="STARLINK")
+        assert [e.catalog_number for e in group] == [44713]
+
+    def test_include_decayed(self):
+        group = filter_group(
+            entries(), name_prefix="STARLINK", on_orbit_only=False
+        )
+        assert len(group) == 2
+
+    def test_rocket_bodies_excluded_by_default(self):
+        group = filter_group(entries())
+        assert all(e.is_payload for e in group)
+
+    def test_no_prefix_returns_all_matching(self):
+        group = filter_group(entries(), payloads_only=False, on_orbit_only=False)
+        assert len(group) == 4
+
+    def test_case_insensitive_prefix(self):
+        group = filter_group(entries(), name_prefix="starlink")
+        assert group
