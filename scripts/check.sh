@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Pre-PR gate: byte-compile everything, run the tier-1 suite, then run
+# the chaos (fault-injection) suite on its own.  All three must pass
+# before a change ships (see README.md, "Tests").
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== compileall =="
+python -m compileall -q src
+
+echo "== tier-1 suite =="
+python -m pytest -x -q
+
+echo "== chaos suite =="
+python -m pytest -x -q -m chaos tests/robustness
+
+echo "All checks passed."

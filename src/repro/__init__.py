@@ -20,6 +20,8 @@ Quick start::
 
 from repro.core.config import CosmicDanceConfig
 from repro.core.pipeline import CosmicDance, PipelineResult
+from repro.robustness.health import QuarantineLedger, RunHealth
+from repro.robustness.retry import RetryPolicy
 from repro.spaceweather.dst import DstIndex
 from repro.spaceweather.scales import StormLevel, classify_dst
 from repro.spaceweather.storms import StormEpisode, detect_episodes
@@ -39,6 +41,9 @@ __all__ = [
     "Epoch",
     "MeanElements",
     "PipelineResult",
+    "QuarantineLedger",
+    "RetryPolicy",
+    "RunHealth",
     "SatelliteCatalog",
     "StormEpisode",
     "StormLevel",

@@ -27,11 +27,13 @@ import pathlib
 import sys
 from typing import Sequence
 
+from repro.core.config import CosmicDanceConfig
 from repro.core.pipeline import CosmicDance
 from repro.core.report import render_table
 from repro.errors import ReproError
 from repro.io.csvio import read_dst_csv
 from repro.io.store import DataStore
+from repro.robustness.retry import RetryPolicy
 from repro.spaceweather.storms import detect_episodes
 from repro.spaceweather.wdc import parse_wdc
 
@@ -59,10 +61,24 @@ def _add_tle_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _pipeline_for(args: argparse.Namespace) -> CosmicDance:
+    """Build a pipeline honouring the ``--strict`` flag, when present."""
+    return CosmicDance(CosmicDanceConfig(strict=getattr(args, "strict", False)))
+
+
 def _hydrate(pipeline: CosmicDance, args: argparse.Namespace) -> None:
     loaded_dst = False
     if args.cache:
-        store = DataStore(args.cache)
+        # Lenient by default: transient read errors are retried, corrupt
+        # cache files are salvaged/quarantined into the shared ledger so
+        # one bad artifact cannot abort the whole analysis.  --strict
+        # switches salvage off and fails on first contact.
+        store = DataStore(
+            args.cache,
+            retry=RetryPolicy(),
+            salvage=not pipeline.config.strict,
+            ledger=pipeline.ledger,
+        )
         dst = store.load_dst()
         if dst is not None:
             pipeline.ingest.add_dst(dst)
@@ -74,9 +90,22 @@ def _hydrate(pipeline: CosmicDance, args: argparse.Namespace) -> None:
         pipeline.ingest.add_dst(_load_dst(args.dst))
         loaded_dst = True
     for tle_path in args.tles:
-        pipeline.ingest.add_tle_text(tle_path.read_text())
+        pipeline.ingest.add_tle_text(tle_path.read_text(), source=tle_path.name)
     if not loaded_dst and not len(pipeline.ingest.catalog):
         raise ReproError("no data: pass --dst/--tles or --cache")
+
+
+def _render_health(pipeline: CosmicDance) -> str:
+    """The run-health block analyze/report print after their tables."""
+    health = pipeline.result.health
+    text = f"run health: {health.summary()}"
+    if health.entries:
+        text += "\n" + render_table(
+            "Quarantine ledger",
+            ("kind", "id", "stage", "reason"),
+            [(e.kind, e.identifier, e.stage, e.reason) for e in health.entries],
+        )
+    return text
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
@@ -162,7 +191,7 @@ def cmd_clean(args: argparse.Namespace) -> int:
 
 
 def cmd_analyze(args: argparse.Namespace) -> int:
-    pipeline = CosmicDance()
+    pipeline = _pipeline_for(args)
     _hydrate(pipeline, args)
     result = pipeline.run()
 
@@ -205,6 +234,8 @@ def cmd_analyze(args: argparse.Namespace) -> int:
             ],
         )
     )
+    print()
+    print(_render_health(pipeline))
     return 0
 
 
@@ -265,7 +296,7 @@ def cmd_triggers(args: argparse.Namespace) -> int:
 def cmd_report(args: argparse.Namespace) -> int:
     from repro.core.summary import summarize_run
 
-    pipeline = CosmicDance()
+    pipeline = _pipeline_for(args)
     _hydrate(pipeline, args)
     result = pipeline.run()
     print(summarize_run(result))
@@ -306,6 +337,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     analyze = subparsers.add_parser("analyze", help="run the full pipeline")
     analyze.add_argument("--dst", type=pathlib.Path, default=None)
+    analyze.add_argument(
+        "--strict", action="store_true",
+        help="fail on the first corrupt artifact or per-satellite error "
+             "instead of quarantining and continuing",
+    )
     _add_tle_arguments(analyze)
     analyze.set_defaults(func=cmd_analyze)
 
@@ -313,6 +349,11 @@ def build_parser() -> argparse.ArgumentParser:
         "report", help="run the pipeline and print the full summary report"
     )
     report.add_argument("--dst", type=pathlib.Path, default=None)
+    report.add_argument(
+        "--strict", action="store_true",
+        help="fail on the first corrupt artifact or per-satellite error "
+             "instead of quarantining and continuing",
+    )
     _add_tle_arguments(report)
     report.set_defaults(func=cmd_report)
 

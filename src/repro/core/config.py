@@ -51,6 +51,10 @@ class CosmicDanceConfig:
     drag_spike_factor: float = 2.5
     #: Rolling baseline window for B* spikes [days].
     drag_baseline_days: float = 30.0
+    #: Fail fast: re-raise the first per-satellite failure inside
+    #: ``run()`` instead of quarantining the satellite and continuing
+    #: (see ``docs/ROBUSTNESS.md``).
+    strict: bool = False
 
     def __post_init__(self) -> None:
         if self.max_valid_altitude_km <= self.min_valid_altitude_km:

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Iterable
 
 from repro.errors import IngestError
+from repro.robustness.health import QuarantineLedger
 from repro.spaceweather.dst import DstIndex
 from repro.spaceweather.wdc import parse_wdc
 from repro.tle.catalog import SatelliteCatalog
@@ -37,6 +38,11 @@ class IngestState:
     catalog: SatelliteCatalog = field(default_factory=SatelliteCatalog)
     dst: DstIndex | None = None
     stats: IngestStats = field(default_factory=IngestStats)
+    #: Shared degradation record: the DataStore appends storage skips
+    #: here when hydrating, ingest appends parse-failure batches, and
+    #: ``run()`` folds it into ``PipelineResult.health``.
+    ledger: QuarantineLedger = field(default_factory=QuarantineLedger)
+    _tle_batches: int = 0
 
     # --- solar activity -------------------------------------------------
     def add_dst(self, dst: DstIndex) -> None:
@@ -60,11 +66,22 @@ class IngestState:
         self.stats.tle_records_added += added
         return added
 
-    def add_tle_text(self, text: str, *, verify: bool = True) -> int:
-        """Ingest a TLE dump (2LE or 3LE); malformed records are counted,
-        not fatal."""
+    def add_tle_text(
+        self, text: str, *, verify: bool = True, source: str | None = None
+    ) -> int:
+        """Ingest a TLE dump (2LE or 3LE); malformed records are counted
+        and ledgered (under *source*, when given), not fatal."""
         report = parse_tle_file(text.splitlines(), verify=verify)
         self.stats.tle_parse_errors += report.error_count
+        self._tle_batches += 1
+        if report.error_count:
+            name = source or f"tle-batch-{self._tle_batches}"
+            self.ledger.quarantine_artifact(
+                name,
+                "ingest",
+                f"{report.error_count} unparsable TLE record(s) "
+                f"({report.parsed_count} parsed)",
+            )
         return self.add_elements(report.elements)
 
     def require_ready(self) -> tuple[SatelliteCatalog, DstIndex]:

@@ -21,7 +21,7 @@ of the original tool).
 from __future__ import annotations
 
 import logging
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.core.analysis import (
     AltitudeChangeSample,
@@ -46,6 +46,7 @@ from repro.core.relations import (
 )
 from repro.core.windows import AltitudeChangeCurves, post_event_curves
 from repro.errors import PipelineError
+from repro.robustness.health import QuarantineLedger, RunHealth, StageHealth
 from repro.spaceweather.dst import DstIndex
 from repro.spaceweather.storms import StormEpisode, detect_episodes
 from repro.time import Epoch
@@ -72,6 +73,8 @@ class PipelineResult:
     associations: list[Association]
     #: End-of-record decay assessment per satellite.
     decay_assessments: dict[int, DecayAssessment]
+    #: Degradation record: what was quarantined where, and why.
+    health: RunHealth = field(default_factory=RunHealth.empty)
 
     @property
     def permanently_decayed(self) -> list[DecayAssessment]:
@@ -91,6 +94,12 @@ class CosmicDance:
         self.config = config or CosmicDanceConfig()
         self.ingest = IngestState()
         self._result: PipelineResult | None = None
+
+    @property
+    def ledger(self) -> QuarantineLedger:
+        """The shared quarantine ledger (hydrators append storage skips
+        here; ``run()`` folds it into ``PipelineResult.health``)."""
+        return self.ingest.ledger
 
     # --- orchestration ------------------------------------------------------
     def run(self) -> PipelineResult:
@@ -112,12 +121,51 @@ class CosmicDance:
             "storms: %d episodes at/below %.1f nT", len(episodes), threshold
         )
 
+        # Per-satellite isolation: one history tripping an exception in
+        # detect/assess must not abort the fleet.  Events commit only
+        # after the whole satellite succeeds; failures quarantine the
+        # satellite (or, with config.strict, re-raise immediately).
         events: list[TrajectoryEvent] = []
         assessments: dict[int, DecayAssessment] = {}
+        healthy: dict[int, CleanedHistory] = {}
+        ledger = self.ingest.ledger
         for catalog_number, history in cleaned.items():
-            events.extend(detect_drag_spikes(history, self.config))
-            events.extend(detect_decay_onsets(history, self.config))
-            assessments[catalog_number] = assess_decay(history, self.config)
+            try:
+                satellite_events = list(detect_drag_spikes(history, self.config))
+                satellite_events.extend(detect_decay_onsets(history, self.config))
+                assessment = assess_decay(history, self.config)
+            except Exception as exc:
+                if self.config.strict:
+                    raise
+                ledger.quarantine_satellite(
+                    catalog_number, "detect", f"{type(exc).__name__}: {exc}"
+                )
+                logger.warning(
+                    "quarantined satellite %d in detect/assess: %s",
+                    catalog_number, exc,
+                )
+                continue
+            healthy[catalog_number] = history
+            events.extend(satellite_events)
+            assessments[catalog_number] = assessment
+        quarantined = len(cleaned) - len(healthy)
+        if quarantined:
+            logger.warning(
+                "detect/assess quarantined %d/%d satellite(s)",
+                quarantined, len(cleaned),
+            )
+        health = RunHealth.from_ledger(
+            stages=(
+                StageHealth(
+                    stage="detect",
+                    attempted=len(cleaned),
+                    succeeded=len(healthy),
+                    quarantined=quarantined,
+                ),
+            ),
+            ledger=ledger,
+        )
+        cleaned = healthy
 
         associations = associate(episodes, events, self.config)
         logger.info(
@@ -144,6 +192,7 @@ class CosmicDance:
             trajectory_events=events,
             associations=associations,
             decay_assessments=assessments,
+            health=health,
         )
         return self._result
 

@@ -24,6 +24,7 @@ def summarize_run(result: PipelineResult, *, max_rows: int = 20) -> str:
         _storm_section(result),
         _relation_section(result, max_rows),
         _decay_section(result, max_rows),
+        _health_section(result, max_rows),
     ]
     return "\n\n".join(sections)
 
@@ -139,5 +140,29 @@ def _decay_section(result: PipelineResult, max_rows: int) -> str:
             "Permanent decays (service-hole candidates)",
             ("satellite", "onset", "final km", "deficit km", "est. re-entry"),
             rows_decay,
+        )
+    return table
+
+
+def _health_section(result: PipelineResult, max_rows: int) -> str:
+    health = result.health
+    rows: list[tuple] = [("status", health.summary())]
+    for stage in health.stages:
+        rows.append(
+            (
+                f"stage '{stage.stage}'",
+                f"{stage.succeeded}/{stage.attempted} ok, "
+                f"{stage.quarantined} quarantined",
+            )
+        )
+    table = render_table("Run health", ("metric", "value"), rows)
+    if health.entries:
+        table += "\n" + render_table(
+            "Quarantine ledger",
+            ("kind", "id", "stage", "reason"),
+            [
+                (e.kind, e.identifier, e.stage, e.reason)
+                for e in health.entries[:max_rows]
+            ],
         )
     return table

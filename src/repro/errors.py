@@ -59,3 +59,11 @@ class PipelineError(ReproError):
 
 class IngestError(PipelineError):
     """Data could not be ingested into the pipeline."""
+
+
+class RobustnessError(ReproError):
+    """Problem in the fault-tolerance layer (retry policies, fault plans)."""
+
+
+class FaultPlanError(RobustnessError):
+    """A fault-injection plan is inconsistent (bad rates, counts, seeds)."""

@@ -6,38 +6,119 @@ Directory layout::
       dst.csv                 hourly Dst cache
       catalog_numbers.txt     one catalog number per line
       tles/<catalog>.tle      per-satellite TLE history (2LE text)
+      quarantine/             corrupt files moved aside in salvage mode
 
-`save_*` methods overwrite atomically (write to a temp file, rename);
-`load_*` methods return None when the artifact is absent, so callers
-can fall back to fetching/generating.
+`save_*` methods overwrite atomically and durably (unique temp file in
+the target directory, ``fsync``, then ``os.replace``); stale ``*.tmp``
+files from interrupted writers are swept on construction.  `load_*`
+methods return None when the artifact is absent, so callers can fall
+back to fetching/generating.
+
+Fault tolerance (see ``docs/ROBUSTNESS.md``):
+
+* ``retry=RetryPolicy(...)`` retries raw reads/writes on transient
+  ``OSError`` with seeded exponential backoff.
+* ``salvage=True`` switches corrupt-cache handling from raise to
+  degrade: parseable records are kept (and the cache file rewritten
+  with only those), corrupt files move to ``<root>/quarantine/``, and
+  every skip is recorded in the store's :class:`QuarantineLedger` —
+  one corrupt file never discards the rest of the catalog.
+* ``salvage=False`` (default) preserves strict behaviour: corruption
+  raises on first contact.
 """
 
 from __future__ import annotations
 
+import io
 import os
 import pathlib
-from typing import Iterable
+import tempfile
+from typing import Any, Callable, Iterable, TypeVar
 
-from repro.errors import IngestError
+from repro.errors import IngestError, ReproError, TLEError
 from repro.io.csvio import read_dst_csv, write_dst_csv
+from repro.robustness.health import QuarantineLedger
+from repro.robustness.retry import RetryPolicy
 from repro.spaceweather.dst import DstIndex
 from repro.tle.catalog import SatelliteCatalog, SatelliteHistory
 from repro.tle.format import format_tle
 from repro.tle.parse import parse_tle_file
 
+T = TypeVar("T")
+
+#: Ledger stage name for everything the store quarantines.
+STORAGE_STAGE = "storage"
+
 
 class DataStore:
     """A directory-backed cache of ingested data."""
 
-    def __init__(self, root: str | os.PathLike) -> None:
+    def __init__(
+        self,
+        root: str | os.PathLike,
+        *,
+        retry: RetryPolicy | None = None,
+        salvage: bool = False,
+        ledger: QuarantineLedger | None = None,
+    ) -> None:
         self.root = pathlib.Path(root)
+        self.retry = retry
+        self.salvage = salvage
+        self.ledger = ledger if ledger is not None else QuarantineLedger()
         self.root.mkdir(parents=True, exist_ok=True)
+        self._sweep_stale_tmp()
 
     # --- internals --------------------------------------------------------
+    def _call(self, func: Callable[..., T], *args: Any) -> T:
+        """Run one raw I/O operation under the retry policy, if any."""
+        if self.retry is None:
+            return func(*args)
+        return self.retry.call(func, *args)
+
+    def _sweep_stale_tmp(self) -> None:
+        """Remove temp files left behind by interrupted writers."""
+        try:
+            stale = list(self.root.rglob("*.tmp"))
+        except OSError:
+            return
+        for path in stale:
+            try:
+                path.unlink()
+            except OSError:
+                pass  # another process may have won the race
+
+    def _read_text(self, path: pathlib.Path) -> str:
+        """Raw file read — the override point for fault injection."""
+        return path.read_text()
+
+    def _write_once(self, path: pathlib.Path, text: str) -> None:
+        """Raw durable atomic write — the override point for fault
+        injection.  Unique temp name (concurrent writers never collide)
+        + fsync before rename (no torn cache after a crash)."""
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=path.name + ".", suffix=".tmp"
+        )
+        tmp = pathlib.Path(tmp_name)
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(text)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, path)
+        except BaseException:
+            tmp.unlink(missing_ok=True)
+            raise
+
     def _atomic_write(self, path: pathlib.Path, text: str) -> None:
-        tmp = path.with_suffix(path.suffix + ".tmp")
-        tmp.write_text(text)
-        tmp.replace(path)
+        self._call(self._write_once, path, text)
+
+    def _quarantine_file(self, path: pathlib.Path) -> None:
+        """Move a corrupt file aside (best effort, never raises)."""
+        try:
+            self._quarantine_dir.mkdir(exist_ok=True)
+            os.replace(path, self._quarantine_dir / path.name)
+        except OSError:
+            pass
 
     @property
     def _dst_path(self) -> pathlib.Path:
@@ -51,21 +132,34 @@ class DataStore:
     def _tle_dir(self) -> pathlib.Path:
         return self.root / "tles"
 
+    @property
+    def _quarantine_dir(self) -> pathlib.Path:
+        return self.root / "quarantine"
+
     # --- Dst -------------------------------------------------------------
     def save_dst(self, dst: DstIndex) -> None:
         """Cache the Dst index (overwrites)."""
-        import io
-
         buffer = io.StringIO()
         write_dst_csv(dst, buffer)
         self._atomic_write(self._dst_path, buffer.getvalue())
 
     def load_dst(self) -> DstIndex | None:
-        """Load the cached Dst index, or None when absent."""
+        """Load the cached Dst index, or None when absent (or, in
+        salvage mode, unloadable)."""
         if not self._dst_path.exists():
             return None
-        with self._dst_path.open() as handle:
-            return read_dst_csv(handle)
+        try:
+            return read_dst_csv(self._call(self._read_text, self._dst_path))
+        except (OSError, ReproError, ValueError) as exc:
+            if not self.salvage:
+                raise
+            self.ledger.quarantine_artifact(
+                "dst.csv",
+                STORAGE_STAGE,
+                f"unloadable Dst cache ({type(exc).__name__})",
+            )
+            self._quarantine_file(self._dst_path)
+            return None
 
     # --- catalog numbers (fetched once, per the paper) ----------------------
     def save_catalog_numbers(self, numbers: Iterable[int]) -> None:
@@ -77,15 +171,37 @@ class DataStore:
         """Load cached catalog numbers, or None when absent."""
         if not self._numbers_path.exists():
             return None
+        try:
+            text = self._call(self._read_text, self._numbers_path)
+        except OSError as exc:
+            if not self.salvage:
+                raise
+            self.ledger.quarantine_artifact(
+                "catalog_numbers.txt",
+                STORAGE_STAGE,
+                f"unreadable catalog-number cache ({type(exc).__name__})",
+            )
+            return None
         numbers = []
-        for line in self._numbers_path.read_text().splitlines():
+        bad = 0
+        for line in text.splitlines():
             line = line.strip()
             if not line:
                 continue
             try:
                 numbers.append(int(line))
             except ValueError as exc:
-                raise IngestError(f"corrupt catalog-number cache: {line!r}") from exc
+                if not self.salvage:
+                    raise IngestError(
+                        f"corrupt catalog-number cache: {line!r}"
+                    ) from exc
+                bad += 1
+        if bad:
+            self.ledger.quarantine_artifact(
+                "catalog_numbers.txt",
+                STORAGE_STAGE,
+                f"skipped {bad} corrupt catalog-number line(s)",
+            )
         return numbers
 
     # --- TLE histories ----------------------------------------------------
@@ -107,29 +223,94 @@ class DataStore:
         self.save_catalog_numbers(catalog.catalog_numbers)
 
     def load_history(self, catalog_number: int) -> SatelliteHistory | None:
-        """Load one cached history, or None when absent."""
+        """Load one cached history, or None when absent.
+
+        In salvage mode a corrupt file yields whatever records still
+        parse: the original moves to ``quarantine/``, the cache file is
+        rewritten with the salvaged records, and the skip is ledgered.
+        A file with nothing salvageable quarantines the satellite.
+        """
         path = self._tle_dir / f"{catalog_number}.tle"
         if not path.exists():
             return None
-        report = parse_tle_file(path.read_text().splitlines())
-        if report.error_count:
+        try:
+            text = self._call(self._read_text, path)
+        except OSError as exc:
+            if not self.salvage:
+                raise
+            self.ledger.quarantine_satellite(
+                catalog_number,
+                STORAGE_STAGE,
+                f"unreadable TLE cache ({type(exc).__name__}: {exc})",
+            )
+            self._quarantine_file(path)
+            return None
+        report = parse_tle_file(text.splitlines())
+        if report.error_count and not self.salvage:
             raise IngestError(
                 f"corrupt TLE cache for {catalog_number}: "
                 f"{report.error_count} bad records"
             )
         history = SatelliteHistory(catalog_number)
+        mismatched = 0
         for elements in report.elements:
+            if self.salvage and elements.catalog_number != catalog_number:
+                mismatched += 1
+                continue
             history.add(elements)
+        corrupt = report.error_count + mismatched
+        if self.salvage:
+            if corrupt and not len(history):
+                self.ledger.quarantine_satellite(
+                    catalog_number,
+                    STORAGE_STAGE,
+                    f"corrupt TLE cache: {corrupt} bad record(s), none salvageable",
+                )
+                self._quarantine_file(path)
+                return None
+            if not len(history) and text.strip():
+                self.ledger.quarantine_satellite(
+                    catalog_number,
+                    STORAGE_STAGE,
+                    "TLE cache holds no parseable records",
+                )
+                self._quarantine_file(path)
+                return None
+            if corrupt:
+                self.ledger.quarantine_artifact(
+                    path.name,
+                    STORAGE_STAGE,
+                    f"satellite {catalog_number}: salvaged {len(history)} "
+                    f"record(s), {corrupt} corrupt",
+                )
+                self._quarantine_file(path)
+                self.save_history(history)  # self-heal the cache
         return history
 
     def load_catalog(self) -> SatelliteCatalog | None:
-        """Load the whole cached catalog, or None when nothing is cached."""
+        """Load the whole cached catalog, or None when nothing is cached.
+
+        In salvage mode per-satellite corruption is quarantined and the
+        rest of the catalog survives; strict mode raises on the first
+        corrupt artifact.
+        """
         numbers = self.load_catalog_numbers()
         if numbers is None:
             return None
         catalog = SatelliteCatalog()
         for number in numbers:
-            history = self.load_history(number)
+            try:
+                history = self.load_history(number)
+            except (OSError, TLEError) as exc:
+                if not self.salvage:
+                    raise
+                # Residual failures load_history could not absorb.
+                self.ledger.quarantine_satellite(
+                    number,
+                    STORAGE_STAGE,
+                    f"history load failed ({type(exc).__name__}: {exc})",
+                )
+                continue
             if history is not None:
                 for elements in history:
                     catalog.add(elements)

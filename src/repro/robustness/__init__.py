@@ -1,0 +1,31 @@
+"""Fault tolerance for the CosmicDance pipeline.
+
+Three pieces (see ``docs/ROBUSTNESS.md``):
+
+* :mod:`repro.robustness.retry` — :class:`RetryPolicy`, bounded retries
+  with seeded deterministic backoff for transient I/O failures;
+* :mod:`repro.robustness.health` — :class:`QuarantineLedger`,
+  :class:`StageHealth` and :class:`RunHealth`, the degradation record
+  every run carries;
+* :mod:`repro.robustness.faults` — seeded fault injection for chaos
+  tests.  **Not** imported here: it depends on :mod:`repro.io.store`,
+  which itself uses the retry/health primitives.  Import it explicitly
+  (``from repro.robustness import faults``).
+"""
+
+from repro.robustness.health import (
+    QuarantineEntry,
+    QuarantineLedger,
+    RunHealth,
+    StageHealth,
+)
+from repro.robustness.retry import RetryAttempt, RetryPolicy
+
+__all__ = [
+    "QuarantineEntry",
+    "QuarantineLedger",
+    "RetryAttempt",
+    "RetryPolicy",
+    "RunHealth",
+    "StageHealth",
+]

@@ -1,0 +1,251 @@
+"""Seeded fault injection — reproducible chaos for the pipeline.
+
+A :class:`FaultPlan` is a pure description of which faults to inject:
+what fraction of cached TLE files to garble or truncate, whether to
+garble the Dst cache, how often raw store reads/writes should throw a
+transient ``OSError``, and what fraction of TLE records to drop from a
+text dump.  Every random choice flows from ``numpy.random.default_rng``
+streams derived from the plan's seed (the repo's determinism rule), so
+re-running a chaos test with the same seed injects byte-identical
+faults — and, downstream, produces a byte-identical quarantine ledger.
+
+Two application surfaces:
+
+* :func:`apply_to_cache` mutates an on-disk :class:`~repro.io.store.
+  DataStore` directory in place (corrupting/truncating files), standing
+  in for bit rot and torn downloads.
+* :class:`FaultyStore` subclasses ``DataStore`` and raises
+  :class:`InjectedOSError` from a bounded number of raw reads/writes
+  per path, standing in for a flaky filesystem; with a retry policy
+  attached the store recovers, without one the error surfaces.
+
+This module depends on :mod:`repro.io.store`; import it explicitly
+(``from repro.robustness import faults``) — ``repro.robustness``'s
+package init deliberately does not pull it in.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import FaultPlanError
+from repro.io.store import DataStore
+
+#: Characters used to overwrite cache bytes — none are valid in a TLE.
+_JUNK = "#@!~%?"
+
+
+class InjectedOSError(OSError):
+    """A transient I/O fault injected by a :class:`FaultPlan`."""
+
+
+def _stream_key(label: str) -> int:
+    """Stable, platform-independent integer key for a named rng stream."""
+    key = 0
+    for byte in label.encode("utf-8"):
+        key = (key * 131 + byte) % (2**32)
+    return key
+
+
+@dataclass(frozen=True, slots=True)
+class FaultPlan:
+    """A seeded, declarative schedule of faults to inject."""
+
+    seed: int = 0
+    #: Fraction of cached TLE files to garble beyond single records.
+    corrupt_file_rate: float = 0.0
+    #: Fraction of cached TLE files to truncate at a random byte.
+    truncate_file_rate: float = 0.0
+    #: Garble the cached Dst CSV as well.
+    garble_dst: bool = False
+    #: Fraction of paths whose first read/write attempts raise
+    #: :class:`InjectedOSError` (recoverable with retries).
+    transient_error_rate: float = 0.0
+    #: How many injected failures each flaky path produces before
+    #: operations succeed again.
+    transient_failures: int = 1
+    #: Fraction of TLE records (line pairs) dropped from a text dump.
+    record_drop_rate: float = 0.0
+    #: Fraction of characters overwritten when a file is corrupted.
+    corruption_intensity: float = 0.3
+
+    def __post_init__(self) -> None:
+        for name in (
+            "corrupt_file_rate",
+            "truncate_file_rate",
+            "transient_error_rate",
+            "record_drop_rate",
+            "corruption_intensity",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise FaultPlanError(f"{name} must be in [0, 1], got {value!r}")
+        if self.corrupt_file_rate + self.truncate_file_rate > 1.0:
+            raise FaultPlanError("corrupt + truncate rates exceed 1")
+        if self.transient_failures < 0:
+            raise FaultPlanError("transient_failures must be non-negative")
+
+    def rng(self, stream: str) -> np.random.Generator:
+        """An independent deterministic generator for a named purpose."""
+        return np.random.default_rng([self.seed, _stream_key(stream)])
+
+
+# --- text-level fault primitives -------------------------------------------
+def corrupt_text(text: str, rng: np.random.Generator, *, intensity: float = 0.3) -> str:
+    """Overwrite a fraction of characters with junk (newlines survive,
+    so the line structure — and thus the parser's record walk — is
+    still exercised)."""
+    if not text:
+        return text
+    chars = list(text)
+    count = max(1, int(len(chars) * intensity))
+    positions = rng.choice(len(chars), size=min(count, len(chars)), replace=False)
+    for position in positions:
+        if chars[position] != "\n":
+            chars[position] = _JUNK[int(rng.integers(len(_JUNK)))]
+    return "".join(chars)
+
+
+def truncate_text(text: str, rng: np.random.Generator) -> str:
+    """Cut the text at a random byte — a torn download or torn write."""
+    if len(text) < 2:
+        return ""
+    return text[: int(rng.integers(1, len(text)))]
+
+
+def drop_records(text: str, rng: np.random.Generator, rate: float) -> str:
+    """Drop a fraction of TLE records (line-1/line-2 pairs) from a dump,
+    emulating lossy fetches; orphaned halves are left in place."""
+    if rate <= 0.0:
+        return text
+    lines = text.splitlines()
+    kept: list[str] = []
+    index = 0
+    while index < len(lines):
+        line = lines[index]
+        is_pair = (
+            line.startswith("1")
+            and index + 1 < len(lines)
+            and lines[index + 1].startswith("2")
+        )
+        if is_pair:
+            if rng.random() >= rate:
+                kept.append(line)
+                kept.append(lines[index + 1])
+            index += 2
+        else:
+            kept.append(line)
+            index += 1
+    return "\n".join(kept) + ("\n" if kept else "")
+
+
+def garble_dst_text(text: str, rng: np.random.Generator, *, rate: float = 0.2) -> str:
+    """Replace a fraction of Dst CSV value cells with junk tokens."""
+    lines = text.splitlines()
+    out = []
+    for number, line in enumerate(lines):
+        if number > 0 and "," in line and rng.random() < rate:
+            stamp, _, _ = line.partition(",")
+            line = f"{stamp},{_JUNK[int(rng.integers(len(_JUNK)))]}"
+        out.append(line)
+    return "\n".join(out) + ("\n" if out else "")
+
+
+# --- applying a plan --------------------------------------------------------
+@dataclass(frozen=True, slots=True)
+class AppliedFaults:
+    """What :func:`apply_to_cache` actually touched (file names only)."""
+
+    corrupted: tuple[str, ...]
+    truncated: tuple[str, ...]
+    dst_garbled: bool
+
+    @property
+    def touched_files(self) -> int:
+        return len(self.corrupted) + len(self.truncated)
+
+
+def apply_to_cache(plan: FaultPlan, root: str | os.PathLike) -> AppliedFaults:
+    """Inject the plan's at-rest faults into a DataStore directory.
+
+    File selection walks ``tles/*.tle`` in sorted order with one draw
+    per file from the plan's ``files`` stream; per-file corruption uses
+    a stream keyed by the file name — so the damage is independent of
+    filesystem enumeration order and fully reproducible.
+    """
+    root = pathlib.Path(root)
+    tle_dir = root / "tles"
+    files = sorted(tle_dir.glob("*.tle")) if tle_dir.is_dir() else []
+    selector = plan.rng("files")
+    corrupted: list[str] = []
+    truncated: list[str] = []
+    for path in files:
+        draw = float(selector.random())
+        if draw < plan.corrupt_file_rate:
+            path.write_text(
+                corrupt_text(
+                    path.read_text(),
+                    plan.rng("corrupt:" + path.name),
+                    intensity=plan.corruption_intensity,
+                )
+            )
+            corrupted.append(path.name)
+        elif draw < plan.corrupt_file_rate + plan.truncate_file_rate:
+            path.write_text(
+                truncate_text(path.read_text(), plan.rng("truncate:" + path.name))
+            )
+            truncated.append(path.name)
+    dst_garbled = False
+    dst_path = root / "dst.csv"
+    if plan.garble_dst and dst_path.exists():
+        dst_path.write_text(garble_dst_text(dst_path.read_text(), plan.rng("dst")))
+        dst_garbled = True
+    return AppliedFaults(
+        corrupted=tuple(corrupted),
+        truncated=tuple(truncated),
+        dst_garbled=dst_garbled,
+    )
+
+
+class FaultyStore(DataStore):
+    """A :class:`DataStore` whose raw reads/writes fail transiently.
+
+    Each path is independently declared flaky with probability
+    ``plan.transient_error_rate`` (seeded by path name, so the set of
+    flaky paths is reproducible); a flaky path raises
+    :class:`InjectedOSError` from its first ``plan.transient_failures``
+    operations, then behaves normally — the classic transient-fault
+    shape a :class:`~repro.robustness.retry.RetryPolicy` must absorb.
+    """
+
+    def __init__(self, root: str | os.PathLike, plan: FaultPlan, **kwargs) -> None:
+        self.plan = plan
+        self._budgets: dict[str, int] = {}
+        super().__init__(root, **kwargs)
+
+    def _consume_fault(self, operation: str, path: pathlib.Path) -> None:
+        key = f"{operation}:{path.name}"
+        if key not in self._budgets:
+            flaky = float(self.plan.rng("transient:" + key).random())
+            self._budgets[key] = (
+                self.plan.transient_failures
+                if flaky < self.plan.transient_error_rate
+                else 0
+            )
+        if self._budgets[key] > 0:
+            self._budgets[key] -= 1
+            raise InjectedOSError(
+                f"injected transient fault: {operation} {path.name}"
+            )
+
+    def _read_text(self, path: pathlib.Path) -> str:
+        self._consume_fault("read", path)
+        return super()._read_text(path)
+
+    def _write_once(self, path: pathlib.Path, text: str) -> None:
+        self._consume_fault("write", path)
+        super()._write_once(path, text)

@@ -1,0 +1,162 @@
+"""Generic retry with exponential backoff and seeded, deterministic jitter.
+
+A :class:`RetryPolicy` retries *transient* failures — by default
+``OSError``, the class a flaky filesystem or network mount raises —
+and re-raises the last error once attempts are exhausted, so callers
+keep catching the natural exception types.
+
+Jitter is drawn from ``numpy.random.default_rng(seed)`` (the repo's
+determinism rule): the same policy produces the same delay schedule on
+every invocation, which keeps chaos tests reproducible and keeps the
+backoff schedule out of golden-output diffs.
+
+Three usage forms::
+
+    policy = RetryPolicy(max_attempts=4, retry_on=(OSError,))
+
+    # 1. wrap a call
+    text = policy.call(path.read_text)
+
+    # 2. decorate a function
+    @policy
+    def fetch(path):
+        return path.read_text()
+
+    # 3. attempt contexts (retryable blocks)
+    for attempt in policy.attempts():
+        with attempt:
+            text = path.read_text()
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, TypeVar
+
+import numpy as np
+
+from repro.errors import RobustnessError
+
+T = TypeVar("T")
+
+
+class RetryAttempt:
+    """One attempt in :meth:`RetryPolicy.attempts`; a context manager
+    that swallows retryable exceptions on non-final attempts."""
+
+    __slots__ = ("number", "final", "error", "succeeded", "_delay", "_sleep", "_retry_on")
+
+    def __init__(
+        self,
+        number: int,
+        final: bool,
+        delay: float,
+        sleep: Callable[[float], None],
+        retry_on: tuple[type[BaseException], ...],
+    ) -> None:
+        self.number = number
+        self.final = final
+        self.error: BaseException | None = None
+        self.succeeded = False
+        self._delay = delay
+        self._sleep = sleep
+        self._retry_on = retry_on
+
+    def __enter__(self) -> "RetryAttempt":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is None:
+            self.succeeded = True
+            return False
+        if self.final or not issubclass(exc_type, self._retry_on):
+            return False
+        self.error = exc
+        if self._delay > 0:
+            self._sleep(self._delay)
+        return True
+
+
+@dataclass(frozen=True, slots=True)
+class RetryPolicy:
+    """Bounded retries with exponential backoff and seeded jitter."""
+
+    #: Total attempts, including the first (1 disables retries).
+    max_attempts: int = 3
+    #: Delay before the first retry [s].
+    base_delay_s: float = 0.01
+    #: Multiplier applied to the delay after each failed attempt.
+    backoff_factor: float = 2.0
+    #: Fractional jitter: each delay is scaled by ``1 + jitter * u`` with
+    #: ``u ~ U[0, 1)`` drawn from the seeded generator.
+    jitter: float = 0.1
+    #: Seed for the jitter stream (``numpy.random.default_rng``).
+    seed: int = 0
+    #: Exception allowlist — anything else propagates immediately.
+    retry_on: tuple[type[BaseException], ...] = (OSError,)
+    #: Injectable sleep, so tests never actually wait.
+    sleep: Callable[[float], None] = field(default=time.sleep, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise RobustnessError("max_attempts must be at least 1")
+        if self.base_delay_s < 0:
+            raise RobustnessError("base_delay_s must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise RobustnessError("backoff_factor must be >= 1")
+        if self.jitter < 0:
+            raise RobustnessError("jitter must be non-negative")
+        if not self.retry_on:
+            raise RobustnessError("retry_on must name at least one exception type")
+
+    def delays(self) -> list[float]:
+        """The deterministic delay schedule (one entry per retry)."""
+        rng = np.random.default_rng(self.seed)
+        return [
+            self.base_delay_s
+            * self.backoff_factor**i
+            * (1.0 + self.jitter * float(rng.uniform()))
+            for i in range(self.max_attempts - 1)
+        ]
+
+    def attempts(self) -> Iterator[RetryAttempt]:
+        """Yield :class:`RetryAttempt` contexts until one succeeds or the
+        final attempt lets the exception propagate."""
+        delays = self.delays()
+        for number in range(1, self.max_attempts + 1):
+            attempt = RetryAttempt(
+                number=number,
+                final=number == self.max_attempts,
+                delay=delays[number - 1] if number <= len(delays) else 0.0,
+                sleep=self.sleep,
+                retry_on=self.retry_on,
+            )
+            yield attempt
+            if attempt.succeeded:
+                return
+
+    def call(self, func: Callable[..., T], *args: Any, **kwargs: Any) -> T:
+        """Invoke *func*, retrying allowlisted failures; re-raises the
+        last error when attempts are exhausted."""
+        delays = self.delays()
+        for number in range(1, self.max_attempts + 1):
+            try:
+                return func(*args, **kwargs)
+            except self.retry_on:
+                if number == self.max_attempts:
+                    raise
+                delay = delays[number - 1]
+                if delay > 0:
+                    self.sleep(delay)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def __call__(self, func: Callable[..., T]) -> Callable[..., T]:
+        """Use the policy as a decorator."""
+
+        @functools.wraps(func)
+        def wrapper(*args: Any, **kwargs: Any) -> T:
+            return self.call(func, *args, **kwargs)
+
+        return wrapper

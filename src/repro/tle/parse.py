@@ -139,7 +139,27 @@ def parse_tle_file(lines: Iterable[str], *, verify: bool = True) -> ParseReport:
         lead = line[0]
         if lead == "1" and len(line.strip()) > 24:
             if pending is not None:
-                report.errors.append((pending[0], "line 1 without matching line 2"))
+                # Two line 1s in a row: at least one line 2 went missing,
+                # and a line 2 arriving later cannot be attributed to
+                # either epoch safely (line 2 carries no epoch, so a
+                # wrong pairing would silently fabricate a record).
+                # Refuse to pair: enumerate BOTH orphans and resync.
+                report.errors.append(
+                    (
+                        pending[0],
+                        "line 1 without matching line 2 "
+                        f"(displaced by line 1 at line {line_number})",
+                    )
+                )
+                report.errors.append(
+                    (
+                        line_number,
+                        "line 1 discarded: follows unpaired line 1 "
+                        f"at line {pending[0]}",
+                    )
+                )
+                pending = None
+                continue
             pending = (line_number, line)
         elif lead == "2" and len(line.strip()) > 24:
             if pending is None:

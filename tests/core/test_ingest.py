@@ -66,6 +66,65 @@ class TestTleIngest:
         assert state.stats.tle_parse_errors == 1
 
 
+class TestIngestStats:
+    """Focused coverage of the IngestStats counters."""
+
+    def test_text_duplicates_counted_via_tle_records_duplicate(self):
+        state = IngestState()
+        text = format_tle_block([record(1, 0.0, 550.0), record(1, 1.0, 550.0)])
+        assert state.add_tle_text(text) == 2
+        assert state.add_tle_text(text) == 0  # same dump again
+        assert state.stats.tle_records_added == 2
+        assert state.stats.tle_records_duplicate == 2
+
+    def test_mixed_new_and_duplicate_elements(self):
+        state = IngestState()
+        state.add_elements([record(1, 0.0, 550.0)])
+        added = state.add_elements([record(1, 0.0, 550.0), record(1, 1.0, 550.0)])
+        assert added == 1
+        assert state.stats.tle_records_added == 2
+        assert state.stats.tle_records_duplicate == 1
+
+    def test_parse_errors_accumulate_across_calls(self):
+        state = IngestState()
+
+        def corrupt_block(catalog):
+            lines = format_tle_block([record(catalog, 0.0, 550.0)]).splitlines()
+            lines[0] = lines[0][:-1] + "0"  # break the checksum
+            return "\n".join(lines)
+
+        state.add_tle_text(corrupt_block(1))
+        assert state.stats.tle_parse_errors == 1
+        state.add_tle_text(corrupt_block(2))
+        state.add_tle_text(format_tle_block([record(3, 0.0, 550.0)]))
+        assert state.stats.tle_parse_errors == 2  # clean batch adds nothing
+        assert state.stats.tle_records_added == 1
+        # Each failing batch got its own ledger entry.
+        assert len(state.ledger) == 2
+        assert all(e.stage == "ingest" for e in state.ledger)
+
+    def test_dst_hours_reflect_post_merge_length_with_overlap(self):
+        state = IngestState()
+        start = Epoch.from_calendar(2023, 1, 1)
+        state.add_dst(DstIndex.from_hourly(start, [-10.0] * 48))
+        assert state.stats.dst_hours == 48
+        # Overlapping block: starts 24 h in, extends 24 h past the end.
+        overlap_start = Epoch.from_calendar(2023, 1, 2)
+        state.add_dst(DstIndex.from_hourly(overlap_start, [-50.0] * 48))
+        assert state.stats.dst_hours == 72  # union, not sum
+        # Later blocks win on the overlapping hours.
+        assert state.dst.value_at(overlap_start) == -50.0
+        assert state.dst.value_at(start) == -10.0
+
+    def test_dst_hours_track_latest_merge(self):
+        state = IngestState()
+        start = Epoch.from_calendar(2023, 1, 1)
+        state.add_dst(DstIndex.from_hourly(start, [-10.0] * 24))
+        state.add_dst(DstIndex.from_hourly(start, [-20.0] * 24))  # full overlap
+        assert state.stats.dst_hours == 24
+        assert state.dst.value_at(start) == -20.0
+
+
 class TestReadiness:
     def test_requires_both_modalities(self):
         state = IngestState()

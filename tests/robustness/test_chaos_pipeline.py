@@ -1,0 +1,201 @@
+"""Chaos suite: the full pipeline under seeded fault schedules.
+
+The acceptance contract (ISSUE 1): with a seeded FaultPlan corrupting
+>= 20% of cached TLE files and injecting transient OSErrors,
+``DataStore.load_catalog`` + ``CosmicDance.run()`` complete without
+raising, ``result.health`` lists every quarantined satellite with a
+reason, and re-running the same seed reproduces the ledger
+byte-for-byte; with ``strict=True`` the same plan raises the first
+underlying error.
+"""
+
+import numpy as np
+import pytest
+
+from repro import CosmicDance, CosmicDanceConfig
+from repro.errors import IngestError
+from repro.io.store import DataStore
+from repro.robustness import RetryPolicy
+from repro.robustness.faults import FaultPlan, FaultyStore, apply_to_cache
+from repro.spaceweather import DstIndex
+from repro.time import Epoch
+from repro.tle import SatelliteCatalog
+
+from tests.core.helpers import record
+
+pytestmark = pytest.mark.chaos
+
+START = Epoch.from_calendar(2023, 1, 1)
+SATELLITES = 10
+DAYS = 60
+
+
+def build_cache(root):
+    """A healthy cache: storms in the Dst, a small station-kept fleet."""
+    store = DataStore(root)
+    hours = np.arange(DAYS * 24)
+    values = -10.0 + 3.0 * np.sin(0.7 * hours)
+    values[500:520] = -120.0  # one deep storm
+    store.save_dst(DstIndex.from_hourly(START, values))
+    catalog = SatelliteCatalog()
+    for number in range(1, SATELLITES + 1):
+        for day in range(DAYS):
+            catalog.add(record(number, float(day), 550.0))
+    store.save_catalog(catalog)
+
+
+#: The acceptance plan: >= 20% of files corrupted (deterministically,
+#: seeded), plus recoverable transient read/write faults everywhere.
+ACCEPTANCE_PLAN = FaultPlan(
+    seed=42,
+    corrupt_file_rate=0.35,
+    corruption_intensity=0.6,
+    transient_error_rate=0.5,
+    transient_failures=2,
+)
+
+
+def run_under_plan(root, plan, *, strict=False):
+    """Build a cache, damage it per *plan*, hydrate through a flaky
+    store, and run the pipeline."""
+    build_cache(root)
+    applied = apply_to_cache(plan, root)
+    pipeline = CosmicDance(CosmicDanceConfig(strict=strict))
+    store = FaultyStore(
+        root,
+        plan,
+        retry=RetryPolicy(max_attempts=4, sleep=lambda s: None),
+        salvage=not strict,
+        ledger=pipeline.ledger,
+    )
+    dst = store.load_dst()
+    assert dst is not None
+    pipeline.ingest.add_dst(dst)
+    catalog = store.load_catalog()
+    assert catalog is not None
+    pipeline.ingest.add_elements(catalog.all_elements())
+    return applied, pipeline.run()
+
+
+class TestAcceptanceScenario:
+    def test_plan_reaches_corruption_floor(self, tmp_path):
+        build_cache(tmp_path / "cache")
+        applied = apply_to_cache(ACCEPTANCE_PLAN, tmp_path / "cache")
+        assert len(applied.corrupted) >= 0.2 * SATELLITES
+
+    def test_completes_and_ledgers_every_quarantined_satellite(self, tmp_path):
+        applied, result = run_under_plan(tmp_path / "cache", ACCEPTANCE_PLAN)
+        assert not result.health.ok
+        quarantined = result.health.quarantined_satellites
+        # Every quarantined satellite carries a human-readable reason.
+        assert quarantined
+        assert all(reason for reason in quarantined.values())
+        # Every damaged file shows up in the ledger, as a quarantined
+        # satellite or (partially salvaged) artifact.
+        identifiers = {e.identifier for e in result.health.entries}
+        for name in applied.corrupted:
+            number = name.removesuffix(".tle")
+            assert number in identifiers or name in identifiers
+        # Undamaged satellites survive and were analyzed.
+        damaged = {int(n.removesuffix(".tle")) for n in applied.corrupted}
+        survivors = set(range(1, SATELLITES + 1)) - damaged
+        assert survivors <= set(result.cleaned)
+
+    def test_same_seed_reproduces_ledger_byte_for_byte(self, tmp_path):
+        _, first = run_under_plan(tmp_path / "a", ACCEPTANCE_PLAN)
+        _, second = run_under_plan(tmp_path / "b", ACCEPTANCE_PLAN)
+        assert first.health.ledger_text() == second.health.ledger_text()
+        assert first.health.ledger_text() != ""
+
+    def test_different_seed_changes_the_story(self, tmp_path):
+        other = FaultPlan(
+            seed=43,
+            corrupt_file_rate=0.35,
+            corruption_intensity=0.6,
+            transient_error_rate=0.5,
+            transient_failures=2,
+        )
+        _, first = run_under_plan(tmp_path / "a", ACCEPTANCE_PLAN)
+        _, second = run_under_plan(tmp_path / "b", other)
+        assert first.health.ledger_text() != second.health.ledger_text()
+
+    def test_strict_mode_raises_first_underlying_error(self, tmp_path):
+        with pytest.raises(IngestError, match="corrupt TLE cache"):
+            run_under_plan(tmp_path / "cache", ACCEPTANCE_PLAN, strict=True)
+
+
+class TestMonotonicDegradation:
+    def test_more_corruption_never_more_results(self, tmp_path):
+        """Raising the corruption rate (same seed: the damaged-file set
+        grows monotonically) must shrink results monotonically — and
+        never crash."""
+        cleaned_counts = []
+        quarantine_counts = []
+        for index, rate in enumerate((0.0, 0.2, 0.4, 0.6)):
+            plan = FaultPlan(
+                seed=42, corrupt_file_rate=rate, corruption_intensity=0.6
+            )
+            _, result = run_under_plan(tmp_path / f"r{index}", plan)
+            cleaned_counts.append(len(result.cleaned))
+            quarantine_counts.append(len(result.health.entries))
+        assert cleaned_counts == sorted(cleaned_counts, reverse=True)
+        assert quarantine_counts == sorted(quarantine_counts)
+        assert cleaned_counts[0] == SATELLITES  # rate 0 is a clean run
+        assert cleaned_counts[-1] < SATELLITES
+
+
+class TestTotalLoss:
+    def test_everything_corrupt_degrades_to_ingest_error(self, tmp_path):
+        """When literally every history is destroyed the pipeline cannot
+        produce a result — it must fail with the explicit no-data error,
+        after ledgering every satellite."""
+        root = tmp_path / "cache"
+        build_cache(root)
+        plan = FaultPlan(seed=1, corrupt_file_rate=1.0, corruption_intensity=1.0)
+        apply_to_cache(plan, root)
+        pipeline = CosmicDance()
+        store = DataStore(root, salvage=True, ledger=pipeline.ledger)
+        catalog = store.load_catalog()
+        assert catalog is not None and len(catalog) == 0
+        assert store.ledger.satellites == list(range(1, SATELLITES + 1))
+        pipeline.ingest.add_dst(
+            DstIndex.from_hourly(START, [-10.0] * 48)
+        )
+        with pytest.raises(IngestError, match="no TLE data"):
+            pipeline.run()
+
+
+class TestTruncationSalvage:
+    def test_truncated_files_salvage_partial_history(self, tmp_path):
+        root = tmp_path / "cache"
+        build_cache(root)
+        plan = FaultPlan(seed=7, truncate_file_rate=0.5)
+        applied = apply_to_cache(plan, root)
+        assert applied.truncated
+        pipeline = CosmicDance()
+        store = DataStore(root, salvage=True, ledger=pipeline.ledger)
+        catalog = store.load_catalog()
+        # Truncation loses tail records, not whole satellites (unless the
+        # cut landed pathologically early).
+        assert catalog is not None
+        assert len(catalog) >= SATELLITES - len(applied.truncated)
+        total = catalog.total_records()
+        assert 0 < total < SATELLITES * DAYS
+
+    def test_salvage_self_heals_the_cache(self, tmp_path):
+        root = tmp_path / "cache"
+        build_cache(root)
+        plan = FaultPlan(seed=7, truncate_file_rate=0.5)
+        applied = apply_to_cache(plan, root)
+        ledger_store = DataStore(root, salvage=True)
+        ledger_store.load_catalog()
+        first_text = ledger_store.ledger.to_text()
+        assert first_text != ""
+        # Damaged originals moved aside for forensics.
+        quarantined_names = {p.name for p in (root / "quarantine").glob("*.tle")}
+        assert quarantined_names
+        # A second, strict load succeeds: the cache was rewritten clean.
+        clean_store = DataStore(root, salvage=False)
+        catalog = clean_store.load_catalog()
+        assert catalog is not None
+        assert len(catalog) > 0

@@ -1,0 +1,183 @@
+"""Unit tests for the seeded fault-injection layer."""
+
+import pytest
+
+from repro.errors import FaultPlanError
+from repro.io.store import DataStore
+from repro.robustness import RetryPolicy
+from repro.robustness.faults import (
+    AppliedFaults,
+    FaultPlan,
+    FaultyStore,
+    InjectedOSError,
+    apply_to_cache,
+    corrupt_text,
+    drop_records,
+    garble_dst_text,
+    truncate_text,
+)
+from repro.spaceweather import DstIndex
+from repro.time import Epoch
+from repro.tle import SatelliteCatalog
+from repro.tle.format import format_tle_block
+
+from tests.core.helpers import record
+
+
+def small_cache(root, satellites=5, days=5):
+    store = DataStore(root)
+    store.save_dst(
+        DstIndex.from_hourly(Epoch.from_calendar(2023, 1, 1), [-10.0] * 48)
+    )
+    catalog = SatelliteCatalog()
+    for number in range(1, satellites + 1):
+        for day in range(days):
+            catalog.add(record(number, float(day), 550.0))
+    store.save_catalog(catalog)
+    return store
+
+
+class TestFaultPlanValidation:
+    def test_rates_must_be_probabilities(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan(corrupt_file_rate=1.5)
+        with pytest.raises(FaultPlanError):
+            FaultPlan(record_drop_rate=-0.1)
+
+    def test_combined_file_rates_bounded(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan(corrupt_file_rate=0.7, truncate_file_rate=0.7)
+
+    def test_negative_failure_count_rejected(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan(transient_failures=-1)
+
+
+class TestDeterministicStreams:
+    def test_same_label_same_stream(self):
+        plan = FaultPlan(seed=9)
+        assert plan.rng("x").random(4).tolist() == plan.rng("x").random(4).tolist()
+
+    def test_labels_independent(self):
+        plan = FaultPlan(seed=9)
+        assert plan.rng("x").random(4).tolist() != plan.rng("y").random(4).tolist()
+
+    def test_seed_changes_streams(self):
+        a, b = FaultPlan(seed=1), FaultPlan(seed=2)
+        assert a.rng("x").random(4).tolist() != b.rng("x").random(4).tolist()
+
+
+class TestTextPrimitives:
+    def test_corrupt_text_deterministic_and_damaging(self):
+        plan = FaultPlan(seed=3)
+        text = format_tle_block([record(1, float(d), 550.0) for d in range(5)])
+        once = corrupt_text(text, plan.rng("c"), intensity=0.4)
+        twice = corrupt_text(text, plan.rng("c"), intensity=0.4)
+        assert once == twice
+        assert once != text
+        assert once.count("\n") == text.count("\n")  # line structure kept
+
+    def test_truncate_text_shortens(self):
+        plan = FaultPlan(seed=3)
+        text = "x" * 100
+        cut = truncate_text(text, plan.rng("t"))
+        assert 0 < len(cut) < len(text)
+
+    def test_drop_records_removes_pairs(self):
+        text = format_tle_block([record(1, float(d), 550.0) for d in range(4)])
+        plan = FaultPlan(seed=3)
+        dropped = drop_records(text, plan.rng("d"), rate=1.0)
+        assert dropped.strip() == ""
+        kept = drop_records(text, plan.rng("d"), rate=0.0)
+        assert kept == text
+
+    def test_garble_dst_text_keeps_header(self):
+        plan = FaultPlan(seed=3)
+        text = "timestamp,dst_nt\n2023-01-01T00:00:00,-10.0\n" * 1
+        garbled = garble_dst_text(text, plan.rng("g"), rate=1.0)
+        assert garbled.startswith("timestamp,dst_nt")
+        assert "-10.0" not in garbled
+
+
+class TestApplyToCache:
+    def test_reproducible_across_directories(self, tmp_path):
+        plan = FaultPlan(seed=11, corrupt_file_rate=0.5, truncate_file_rate=0.3)
+        applied = []
+        contents = []
+        for name in ("a", "b"):
+            root = tmp_path / name
+            small_cache(root)
+            applied.append(apply_to_cache(plan, root))
+            contents.append(
+                {p.name: p.read_text() for p in sorted((root / "tles").glob("*.tle"))}
+            )
+        assert applied[0] == applied[1]
+        assert contents[0] == contents[1]
+        assert isinstance(applied[0], AppliedFaults)
+        assert applied[0].touched_files > 0
+
+    def test_rate_zero_touches_nothing(self, tmp_path):
+        small_cache(tmp_path / "c")
+        applied = apply_to_cache(FaultPlan(seed=1), tmp_path / "c")
+        assert applied.touched_files == 0
+        assert not applied.dst_garbled
+
+    def test_dst_garbling(self, tmp_path):
+        root = tmp_path / "c"
+        small_cache(root)
+        before = (root / "dst.csv").read_text()
+        applied = apply_to_cache(FaultPlan(seed=1, garble_dst=True), root)
+        assert applied.dst_garbled
+        assert (root / "dst.csv").read_text() != before
+
+
+class TestFaultyStore:
+    def test_transient_faults_recovered_by_retry(self, tmp_path):
+        root = tmp_path / "c"
+        small_cache(root)
+        plan = FaultPlan(seed=5, transient_error_rate=1.0, transient_failures=2)
+        store = FaultyStore(
+            root, plan, retry=RetryPolicy(max_attempts=4, sleep=lambda s: None)
+        )
+        catalog = store.load_catalog()
+        assert catalog is not None
+        assert catalog.total_records() == 25
+
+    def test_without_retry_faults_surface(self, tmp_path):
+        root = tmp_path / "c"
+        small_cache(root)
+        plan = FaultPlan(seed=5, transient_error_rate=1.0, transient_failures=2)
+        store = FaultyStore(root, plan)
+        with pytest.raises(InjectedOSError):
+            store.load_dst()
+
+    def test_salvage_quarantines_unrecoverable_reads(self, tmp_path):
+        root = tmp_path / "c"
+        small_cache(root)
+        # More failures than the policy has attempts: reads stay broken.
+        plan = FaultPlan(seed=5, transient_error_rate=1.0, transient_failures=99)
+        store = FaultyStore(
+            root,
+            plan,
+            retry=RetryPolicy(max_attempts=2, sleep=lambda s: None),
+            salvage=True,
+        )
+        catalog = store.load_catalog()
+        # catalog_numbers.txt itself was unreadable -> ledgered, no catalog.
+        assert catalog is None
+        assert len(store.ledger) == 1
+
+    def test_write_faults_also_injected(self, tmp_path):
+        root = tmp_path / "c"
+        store = DataStore(root)
+        store.save_dst(
+            DstIndex.from_hourly(Epoch.from_calendar(2023, 1, 1), [-10.0] * 24)
+        )
+        plan = FaultPlan(seed=5, transient_error_rate=1.0, transient_failures=1)
+        faulty = FaultyStore(root, plan)
+        with pytest.raises(InjectedOSError):
+            faulty.save_dst(
+                DstIndex.from_hourly(Epoch.from_calendar(2023, 1, 1), [-20.0] * 24)
+            )
+        # The original cache must be untouched (write never started).
+        assert store.load_dst().min_nt() == -10.0

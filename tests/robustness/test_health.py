@@ -1,0 +1,125 @@
+"""Unit tests for the quarantine ledger, RunHealth, and per-satellite
+isolation inside CosmicDance.run()."""
+
+import numpy as np
+import pytest
+
+import repro.core.pipeline as pipeline_module
+from repro import CosmicDance, CosmicDanceConfig
+from repro.robustness import QuarantineLedger, RunHealth, StageHealth
+from repro.spaceweather import DstIndex
+
+from tests.core.helpers import START, steady_history
+
+
+def noisy_dst(days=60):
+    hours = np.arange(days * 24)
+    return DstIndex.from_hourly(START, -10.0 + 3.0 * np.sin(0.7 * hours))
+
+
+class TestQuarantineLedger:
+    def test_records_satellites_and_artifacts(self):
+        ledger = QuarantineLedger()
+        ledger.quarantine_satellite(44713, "storage", "corrupt cache")
+        ledger.quarantine_artifact("dst.csv", "storage", "unreadable")
+        ledger.quarantine_satellite(100, "detect", "boom")
+        assert len(ledger) == 3
+        assert ledger.satellites == [100, 44713]
+        assert ledger.reasons_by_satellite()[44713] == "corrupt cache"
+
+    def test_to_text_is_canonical(self):
+        ledger = QuarantineLedger()
+        ledger.quarantine_satellite(1, "storage", "r1")
+        ledger.quarantine_artifact("a.tle", "storage", "r2")
+        assert ledger.to_text() == (
+            "satellite\t1\tstorage\tr1\n" "artifact\ta.tle\tstorage\tr2\n"
+        )
+
+    def test_empty_ledger_is_falsy(self):
+        assert not QuarantineLedger()
+        assert QuarantineLedger().to_text() == ""
+
+
+class TestRunHealth:
+    def test_empty_is_ok(self):
+        assert RunHealth.empty().ok
+        assert "healthy" in RunHealth.empty().summary()
+
+    def test_degraded_summary_counts(self):
+        ledger = QuarantineLedger()
+        ledger.quarantine_satellite(1, "detect", "x")
+        ledger.quarantine_artifact("a.tle", "storage", "y")
+        health = RunHealth.from_ledger(
+            (StageHealth("detect", attempted=3, succeeded=2, quarantined=1),),
+            ledger,
+        )
+        assert not health.ok
+        assert health.quarantined_satellites == {1: "x"}
+        assert "1 satellite(s)" in health.summary()
+        assert "1 artifact(s)" in health.summary()
+
+    def test_ledger_text_round_trip(self):
+        ledger = QuarantineLedger()
+        ledger.quarantine_satellite(7, "detect", "z")
+        health = RunHealth.from_ledger((), ledger)
+        assert health.ledger_text() == ledger.to_text()
+
+
+class TestStageHealth:
+    def test_ok_requires_full_success(self):
+        assert StageHealth("s", 3, 3, 0).ok
+        assert not StageHealth("s", 3, 2, 1).ok
+
+
+def poisoned_assess(poisoned_numbers):
+    """An assess_decay stand-in that explodes for chosen satellites."""
+    from repro.core.decay import assess_decay
+
+    def assess(history, config):
+        if history.catalog_number in poisoned_numbers:
+            raise ZeroDivisionError("poisoned history")
+        return assess_decay(history, config)
+
+    return assess
+
+
+class TestPerSatelliteIsolation:
+    def _pipeline(self, strict=False):
+        cd = CosmicDance(CosmicDanceConfig(strict=strict))
+        cd.ingest.add_dst(noisy_dst())
+        cd.ingest.add_elements(list(steady_history(catalog=1, days=60)))
+        cd.ingest.add_elements(list(steady_history(catalog=2, days=60)))
+        cd.ingest.add_elements(list(steady_history(catalog=3, days=60)))
+        return cd
+
+    def test_lenient_quarantines_and_continues(self, monkeypatch):
+        cd = self._pipeline()
+        monkeypatch.setattr(pipeline_module, "assess_decay", poisoned_assess({2}))
+        result = cd.run()
+        assert sorted(result.cleaned) == [1, 3]
+        assert sorted(result.decay_assessments) == [1, 3]
+        assert result.health.quarantined_satellites == {
+            2: "ZeroDivisionError: poisoned history"
+        }
+        stage = result.health.stages[0]
+        assert (stage.attempted, stage.succeeded, stage.quarantined) == (3, 2, 1)
+
+    def test_strict_reraises_first_error(self, monkeypatch):
+        cd = self._pipeline(strict=True)
+        monkeypatch.setattr(pipeline_module, "assess_decay", poisoned_assess({2}))
+        with pytest.raises(ZeroDivisionError):
+            cd.run()
+
+    def test_healthy_run_reports_ok(self):
+        result = self._pipeline().run()
+        assert result.health.ok
+        assert result.health.quarantined_satellites == {}
+        assert result.health.stages[0].attempted == 3
+
+    def test_ingest_parse_failures_ledgered(self):
+        cd = self._pipeline()
+        cd.ingest.add_tle_text("1 garbage line that is long enough to pend\n")
+        result = cd.run()
+        assert not result.health.ok
+        kinds = {(e.kind, e.stage) for e in result.health.entries}
+        assert ("artifact", "ingest") in kinds

@@ -1,0 +1,130 @@
+"""Unit tests for RetryPolicy: determinism, allowlists, exhaustion."""
+
+import pytest
+
+from repro.errors import RobustnessError
+from repro.robustness import RetryPolicy
+
+
+def flaky(failures, exc=OSError):
+    """A callable that fails *failures* times, then returns 'ok'."""
+    state = {"calls": 0}
+
+    def func():
+        state["calls"] += 1
+        if state["calls"] <= failures:
+            raise exc(f"transient #{state['calls']}")
+        return "ok"
+
+    func.state = state
+    return func
+
+
+def no_sleep_policy(**kwargs):
+    kwargs.setdefault("sleep", lambda s: None)
+    return RetryPolicy(**kwargs)
+
+
+class TestDelays:
+    def test_deterministic_for_same_seed(self):
+        a = RetryPolicy(max_attempts=5, seed=7)
+        b = RetryPolicy(max_attempts=5, seed=7)
+        assert a.delays() == b.delays()
+        assert a.delays() == a.delays()  # re-invocation too
+
+    def test_seed_changes_jitter(self):
+        a = RetryPolicy(max_attempts=5, seed=1, jitter=0.5)
+        b = RetryPolicy(max_attempts=5, seed=2, jitter=0.5)
+        assert a.delays() != b.delays()
+
+    def test_exponential_envelope(self):
+        policy = RetryPolicy(
+            max_attempts=4, base_delay_s=1.0, backoff_factor=2.0, jitter=0.0
+        )
+        assert policy.delays() == [1.0, 2.0, 4.0]
+
+    def test_jitter_bounded(self):
+        policy = RetryPolicy(max_attempts=6, base_delay_s=1.0,
+                             backoff_factor=1.0, jitter=0.25)
+        for delay in policy.delays():
+            assert 1.0 <= delay <= 1.25
+
+
+class TestCall:
+    def test_recovers_from_transient_failures(self):
+        sleeps = []
+        policy = RetryPolicy(max_attempts=3, sleep=sleeps.append)
+        func = flaky(2)
+        assert policy.call(func) == "ok"
+        assert func.state["calls"] == 3
+        assert sleeps == policy.delays()
+
+    def test_exhaustion_reraises_last_error(self):
+        policy = no_sleep_policy(max_attempts=3)
+        func = flaky(99)
+        with pytest.raises(OSError, match="transient #3"):
+            policy.call(func)
+        assert func.state["calls"] == 3
+
+    def test_non_allowlisted_error_propagates_immediately(self):
+        policy = no_sleep_policy(max_attempts=5)
+        func = flaky(99, exc=ValueError)
+        with pytest.raises(ValueError):
+            policy.call(func)
+        assert func.state["calls"] == 1
+
+    def test_custom_allowlist(self):
+        policy = no_sleep_policy(max_attempts=3, retry_on=(KeyError,))
+        func = flaky(1, exc=KeyError)
+        assert policy.call(func) == "ok"
+
+
+class TestDecorator:
+    def test_decorated_function_retries(self):
+        policy = no_sleep_policy(max_attempts=4)
+        state = {"calls": 0}
+
+        @policy
+        def read():
+            state["calls"] += 1
+            if state["calls"] < 3:
+                raise OSError("flaky mount")
+            return 42
+
+        assert read() == 42
+        assert state["calls"] == 3
+
+
+class TestAttemptContexts:
+    def test_succeeds_midway(self):
+        policy = no_sleep_policy(max_attempts=4)
+        func = flaky(1)
+        result = None
+        rounds = 0
+        for attempt in policy.attempts():
+            rounds += 1
+            with attempt:
+                result = func()
+        assert result == "ok"
+        assert rounds == 2
+
+    def test_final_attempt_propagates(self):
+        policy = no_sleep_policy(max_attempts=2)
+        with pytest.raises(OSError):
+            for attempt in policy.attempts():
+                with attempt:
+                    raise OSError("still down")
+
+
+class TestValidation:
+    def test_rejects_zero_attempts(self):
+        with pytest.raises(RobustnessError):
+            RetryPolicy(max_attempts=0)
+
+    def test_rejects_negative_delay(self):
+        with pytest.raises(RobustnessError):
+            RetryPolicy(base_delay_s=-1.0)
+
+    def test_rejects_empty_allowlist(self):
+        with pytest.raises(RobustnessError):
+            RetryPolicy(retry_on=())

@@ -95,6 +95,37 @@ class TestAnalyzeCommand:
         assert main(["analyze"]) == 1
         assert "no data" in capsys.readouterr().err
 
+    def test_healthy_run_reports_health(self, cache, capsys):
+        assert main(["analyze", "--cache", str(cache)]) == 0
+        assert "run health: healthy" in capsys.readouterr().out
+
+
+class TestDegradedCache:
+    def corrupt_one_history(self, cache):
+        path = cache / "tles" / "44713.tle"
+        text = path.read_text()
+        path.write_text(text[:-2] + "9\n")  # break the final checksum
+
+    def test_analyze_survives_corrupt_history(self, cache, capsys):
+        self.corrupt_one_history(cache)
+        assert main(["analyze", "--cache", str(cache)]) == 0
+        out = capsys.readouterr().out
+        assert "run health: degraded" in out
+        assert "Quarantine ledger" in out
+        assert "44800" in out  # the healthy satellite still analyzed
+
+    def test_report_includes_health_section(self, cache, capsys):
+        self.corrupt_one_history(cache)
+        assert main(["report", "--cache", str(cache)]) == 0
+        out = capsys.readouterr().out
+        assert "Run health" in out
+        assert "Quarantine ledger" in out
+
+    def test_strict_flag_fails_fast(self, cache, capsys):
+        self.corrupt_one_history(cache)
+        assert main(["analyze", "--cache", str(cache), "--strict"]) == 1
+        assert "corrupt TLE cache" in capsys.readouterr().err
+
 
 class TestSimulateCommand:
     def test_simulate_quickstart(self, tmp_path, capsys):

@@ -95,11 +95,62 @@ class TestLenientFileParse:
         assert report.error_count == 1
 
     def test_line1_followed_by_new_line1(self):
+        # Ambiguous pairing: the parser must refuse to attach the line 2
+        # to either line 1 and must enumerate BOTH orphans.
         report = parse_tle_file([ISS_LINE1, ISS_LINE1, ISS_LINE2])
-        assert report.parsed_count == 1
-        assert report.error_count == 1
+        assert report.parsed_count == 0
+        assert report.error_count == 3
+        assert [line for line, _ in report.errors] == [1, 2, 3]
 
     def test_empty_input(self):
         report = parse_tle_file([])
         assert report.parsed_count == 0
         assert report.error_count == 0
+
+
+class TestAmbiguousPairingRegression:
+    """Regression: interleaved/truncated dumps must never fabricate a
+    record by pairing a line 2 with the wrong line 1's epoch."""
+
+    def _two_epochs(self):
+        from tests.core.helpers import record
+        from repro.tle.format import format_tle
+
+        first = format_tle(record(7, 0.0, 550.0))
+        second = format_tle(record(7, 1.0, 550.0))
+        return first, second
+
+    def test_interleaved_dump_fabricates_nothing(self):
+        # [L1a, L1b, L2a, L2b]: pairing L1b with L2a would attach epoch b
+        # to record a's orbital state — checksums pass, so only refusing
+        # to pair catches it.
+        (l1a, l2a), (l1b, l2b) = self._two_epochs()
+        report = parse_tle_file([l1a, l1b, l2a, l2b])
+        assert report.parsed_count == 0
+        assert report.error_count == 4  # both line 1s + both line 2s
+
+    def test_both_orphans_enumerated_with_line_numbers(self):
+        (l1a, _), (l1b, l2b) = self._two_epochs()
+        report = parse_tle_file([l1a, l1b, l2b])
+        orphan_lines = [line for line, _ in report.errors]
+        assert 1 in orphan_lines and 2 in orphan_lines
+        messages = [message for _, message in report.errors]
+        assert any("without matching line 2" in m for m in messages)
+        assert any("follows unpaired line 1" in m for m in messages)
+
+    def test_truncated_dump_recovers_after_resync(self):
+        # Record a lost its line 2 entirely; records b and c are intact.
+        # a and b are consumed by the ambiguity, c must still parse.
+        (l1a, _), (l1b, l2b) = self._two_epochs()
+        report = parse_tle_file([l1a, l1b, l2b, ISS_LINE1, ISS_LINE2])
+        assert report.parsed_count == 1
+        assert report.elements[0].catalog_number == 25544
+
+    def test_truncated_line2_never_inherits_next_record(self):
+        # A line 2 truncated below 24 columns is junk, so l1a is still
+        # pending when l1b arrives: the parser must not guess which
+        # line 1 owns l2b — everything in the ambiguous run is dropped.
+        (l1a, l2a), (l1b, l2b) = self._two_epochs()
+        report = parse_tle_file([l1a, l2a[:20], l1b, l2b])
+        assert report.parsed_count == 0
+        assert report.error_count == 3
