@@ -1,0 +1,109 @@
+"""Fleet-stage parallelism and stage-cache benchmark.
+
+Times the per-satellite fleet stage (clean → detect → assess) under the
+:class:`~repro.exec.serial.SerialExecutor` and a 4-worker
+:class:`~repro.exec.parallel.ParallelExecutor`, plus the warm-cache
+re-run, and records the measurements to ``BENCH_parallel.json`` at the
+repository root.
+
+The ≥2× speedup acceptance assertion is gated on the machine actually
+having ≥4 CPUs: a process pool cannot beat serial execution on a
+single-core container, and recording the honest number matters more
+than the assertion passing everywhere.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+
+from repro import CosmicDance, CosmicDanceConfig
+from repro.core.pipeline import process_satellite, satellite_task
+from repro.exec import ParallelExecutor, SerialExecutor
+from repro.simulation import paper_scenario
+
+BENCH_PATH = pathlib.Path(__file__).parent.parent / "BENCH_parallel.json"
+
+WORKERS = 4
+
+
+def fleet_tasks(total_satellites=96, seed=0):
+    scenario = paper_scenario(total_satellites=total_satellites, seed=seed)
+    return [satellite_task(history) for history in scenario.catalog], scenario
+
+
+def timed(fn, *args, repeats=3):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = fn(*args)
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def test_parallel_fleet_speedup(emit):
+    tasks, scenario = fleet_tasks()
+    config = CosmicDanceConfig()
+
+    serial_s, serial_outcomes = timed(
+        SerialExecutor().run_fleet, process_satellite, tasks, config
+    )
+    parallel_s, parallel_outcomes = timed(
+        ParallelExecutor(WORKERS).run_fleet, process_satellite, tasks, config
+    )
+    assert parallel_outcomes == serial_outcomes  # parity before speed
+
+    # Warm-cache re-run of the full pipeline: the second run() serves
+    # every satellite from the memo and skips the fleet stage entirely.
+    pipeline = CosmicDance()
+    pipeline.ingest.add_dst(scenario.dst)
+    pipeline.ingest.add_elements(scenario.catalog.all_elements())
+    cold_started = time.perf_counter()
+    cold = pipeline.run()
+    cold_s = time.perf_counter() - cold_started
+    warm_started = time.perf_counter()
+    warm = pipeline.run()
+    warm_s = time.perf_counter() - warm_started
+    assert warm.health.cache_hits == len(tasks)
+    assert warm.health.cache_misses == 0
+
+    speedup = serial_s / parallel_s if parallel_s else float("inf")
+    warm_speedup = cold_s / warm_s if warm_s else float("inf")
+    payload = {
+        "cpu_count": os.cpu_count(),
+        "workers": WORKERS,
+        "satellites": len(tasks),
+        "records": sum(t.record_count for t in tasks),
+        "fleet_serial_s": round(serial_s, 4),
+        "fleet_parallel_s": round(parallel_s, 4),
+        "fleet_speedup": round(speedup, 3),
+        "run_cold_s": round(cold_s, 4),
+        "run_warm_cache_s": round(warm_s, 4),
+        "warm_cache_speedup": round(warm_speedup, 3),
+    }
+    BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    emit(
+        "parallel_fleet",
+        "\n".join(
+            [
+                f"fleet stage, {len(tasks)} satellites, "
+                f"{payload['records']} records ({payload['cpu_count']} CPU(s)):",
+                f"  serial            {serial_s:8.3f} s",
+                f"  parallel (x{WORKERS})     {parallel_s:8.3f} s   "
+                f"speedup {speedup:.2f}x",
+                f"  cold run          {cold_s:8.3f} s",
+                f"  warm-cache run    {warm_s:8.3f} s   "
+                f"speedup {warm_speedup:.2f}x",
+            ]
+        ),
+    )
+
+    # The warm cache always wins big — it skips the work entirely.
+    assert warm_speedup >= 2.0
+    # The pool only wins where there are cores to win on.
+    if (os.cpu_count() or 1) >= 4:
+        assert speedup >= 2.0

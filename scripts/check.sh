@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
-# Pre-PR gate: byte-compile everything, run the tier-1 suite, then run
-# the chaos (fault-injection) suite on its own.  All three must pass
-# before a change ships (see README.md, "Tests").
+# Pre-PR gate: byte-compile everything, run the tier-1 suite (with any
+# DeprecationWarning raised from repro's own code escalated to an
+# error), the robustness suite, the chaos (fault-injection) suite, and
+# a 2-worker parallel end-to-end smoke run.  All of it must pass before
+# a change ships (see README.md, "Tests").
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -10,10 +12,23 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 echo "== compileall =="
 python -m compileall -q src
 
-echo "== tier-1 suite =="
-python -m pytest -x -q
+echo "== tier-1 suite (repro DeprecationWarnings are errors) =="
+python -m pytest -x -q -W "error::DeprecationWarning:repro"
+
+echo "== robustness suite =="
+python -m pytest -x -q tests/robustness
 
 echo "== chaos suite =="
 python -m pytest -x -q -m chaos tests/robustness
+
+echo "== parallel smoke run (2 workers) =="
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+python -m repro.cli simulate --scenario quickstart --out "$SMOKE_DIR" >/dev/null
+python -m repro.cli analyze --cache "$SMOKE_DIR" --workers 2 >/dev/null
+# Second invocation must start warm from the persisted stage cache.
+python -m repro.cli analyze --cache "$SMOKE_DIR" --workers 2 \
+  | grep -q "0 miss(es)" \
+  || { echo "parallel smoke run: stage cache did not warm" >&2; exit 1; }
 
 echo "All checks passed."

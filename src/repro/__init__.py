@@ -5,21 +5,29 @@ substrate it stands on: TLE handling, an SGP4-class propagator, Dst
 index tooling, a storm-driven thermosphere/drag model, and simulators
 standing in for the public datasets (see DESIGN.md).
 
-Quick start::
+Quick start — the one-shot facade::
 
-    from repro import CosmicDance
+    from repro import analyze
     from repro.simulation import quickstart_scenario
 
     scenario = quickstart_scenario()
-    cd = CosmicDance()
-    cd.ingest.add_dst(scenario.dst)
-    cd.ingest.add_elements(scenario.catalog.all_elements())
-    result = cd.run()
+    result = analyze(scenario.dst, scenario.catalog)
     print(len(result.storm_episodes), "storm episodes")
+    print(len(result.associations), "trajectory shifts closely after them")
+
+Hold a :class:`CosmicDance` instead for the incremental fetch → re-run
+loop and the post-run analysis delegates; configure ``workers=4`` (or
+pass a :class:`ParallelExecutor`) to spread the per-satellite fleet
+stage over a process pool.
 """
 
+from repro.api import analyze
+from repro.core.cleaning import CleanedHistory, CleaningReport
 from repro.core.config import CosmicDanceConfig
+from repro.core.decay import DecayAssessment, DecayState
 from repro.core.pipeline import CosmicDance, PipelineResult
+from repro.core.relations import Association, TrajectoryEvent, TrajectoryEventKind
+from repro.exec import Executor, ParallelExecutor, SerialExecutor, StageMemo
 from repro.robustness.health import QuarantineLedger, RunHealth
 from repro.robustness.retry import RetryPolicy
 from repro.spaceweather.dst import DstIndex
@@ -32,22 +40,34 @@ from repro.tle.elements import MeanElements
 from repro.tle.format import format_tle
 from repro.tle.parse import parse_tle, parse_tle_file
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "Association",
+    "CleanedHistory",
+    "CleaningReport",
     "CosmicDance",
     "CosmicDanceConfig",
+    "DecayAssessment",
+    "DecayState",
     "DstIndex",
     "Epoch",
+    "Executor",
     "MeanElements",
+    "ParallelExecutor",
     "PipelineResult",
     "QuarantineLedger",
     "RetryPolicy",
     "RunHealth",
     "SatelliteCatalog",
+    "SerialExecutor",
+    "StageMemo",
     "StormEpisode",
     "StormLevel",
     "TimeSeries",
+    "TrajectoryEvent",
+    "TrajectoryEventKind",
+    "analyze",
     "classify_dst",
     "detect_episodes",
     "format_tle",

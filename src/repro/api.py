@@ -1,0 +1,96 @@
+"""The one-shot public API: :func:`analyze`.
+
+Most callers want exactly one thing — "here is space-weather data and a
+TLE archive; tell me what the storms did to the fleet".  That is this
+module.  The incremental machinery underneath (:class:`~repro.core.
+pipeline.CosmicDance`, :class:`~repro.core.ingest.IngestState`, the
+executor subsystem) stays available for the fetch-loop use case, but
+it is no longer the front door::
+
+    from repro import analyze
+
+    result = analyze(dst, elements)
+    result.storm_episodes       # detected solar events
+    result.associations         # trajectory shifts closely after them
+    result.permanently_decayed  # the paper's service-hole alarm
+
+Both inputs accept either parsed objects or raw text, so the two lines
+of I/O most scripts start with can be skipped entirely::
+
+    result = analyze(
+        pathlib.Path("dst.wdc").read_text(),
+        pathlib.Path("starlink.tle").read_text(),
+    )
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.config import CosmicDanceConfig
+from repro.core.pipeline import CosmicDance, PipelineResult
+from repro.errors import PipelineError
+from repro.exec import Executor, StageMemo
+from repro.spaceweather.dst import DstIndex
+from repro.tle.catalog import SatelliteCatalog
+from repro.tle.elements import MeanElements
+
+__all__ = ["analyze"]
+
+
+def analyze(
+    dst: DstIndex | str,
+    elements: "Iterable[MeanElements] | SatelliteCatalog | str",
+    *,
+    config: CosmicDanceConfig | None = None,
+    executor: Executor | None = None,
+    memo: StageMemo | None = None,
+) -> PipelineResult:
+    """Run the full CosmicDance pipeline once over the given data.
+
+    *dst* is a parsed :class:`~repro.spaceweather.dst.DstIndex` or raw
+    text in either WDC exchange format or the repository's CSV layout.
+    *elements* is an iterable of :class:`~repro.tle.elements.
+    MeanElements`, a :class:`~repro.tle.catalog.SatelliteCatalog`, or
+    raw TLE text (2LE/3LE).
+
+    *config* tunes thresholds and execution (``workers=4`` parallelises
+    the fleet stage); *executor*/*memo* inject a specific
+    :class:`~repro.exec.Executor` or a shared stage cache — see
+    ``docs/EXECUTION.md``.  Returns the :class:`~repro.core.pipeline.
+    PipelineResult`; post-run delegates (Fig. 4 curves, re-entry
+    predictions, ...) need a held :class:`~repro.core.pipeline.
+    CosmicDance` instead.
+    """
+    pipeline = CosmicDance(config, executor=executor, memo=memo)
+    pipeline.ingest.add_dst(_coerce_dst(dst))
+    _ingest_elements(pipeline, elements)
+    return pipeline.run()
+
+
+def _coerce_dst(dst: DstIndex | str) -> DstIndex:
+    if isinstance(dst, DstIndex):
+        return dst
+    if isinstance(dst, str):
+        if dst.startswith("timestamp,"):
+            from repro.io.csvio import read_dst_csv
+
+            return read_dst_csv(dst)
+        from repro.spaceweather.wdc import parse_wdc
+
+        return parse_wdc(dst)
+    raise PipelineError(
+        f"dst must be a DstIndex or WDC/CSV text, got {type(dst).__name__}"
+    )
+
+
+def _ingest_elements(
+    pipeline: CosmicDance,
+    elements: "Iterable[MeanElements] | SatelliteCatalog | str",
+) -> None:
+    if isinstance(elements, str):
+        pipeline.ingest.add_tle_text(elements, source="analyze()")
+    elif isinstance(elements, SatelliteCatalog):
+        pipeline.ingest.add_elements(elements.all_elements())
+    else:
+        pipeline.ingest.add_elements(elements)

@@ -61,9 +61,31 @@ def _add_tle_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_execution_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="worker processes for the per-satellite fleet stage "
+             "(0/1: serial; >=2: process pool)",
+    )
+    parser.add_argument(
+        "--no-stage-cache",
+        action="store_true",
+        help="disable per-satellite stage memoization",
+    )
+
+
 def _pipeline_for(args: argparse.Namespace) -> CosmicDance:
-    """Build a pipeline honouring the ``--strict`` flag, when present."""
-    return CosmicDance(CosmicDanceConfig(strict=getattr(args, "strict", False)))
+    """Build a pipeline honouring the execution flags, when present."""
+    return CosmicDance(
+        CosmicDanceConfig(
+            strict=getattr(args, "strict", False),
+            workers=getattr(args, "workers", 0),
+            cache_stages=not getattr(args, "no_stage_cache", False),
+        )
+    )
 
 
 def _hydrate(pipeline: CosmicDance, args: argparse.Namespace) -> None:
@@ -79,6 +101,10 @@ def _hydrate(pipeline: CosmicDance, args: argparse.Namespace) -> None:
             salvage=not pipeline.config.strict,
             ledger=pipeline.ledger,
         )
+        if pipeline.memo is not None:
+            # Warm the stage cache from (and write back through) the
+            # same store, so repeated CLI runs skip clean satellites.
+            pipeline.memo.store = store
         dst = store.load_dst()
         if dst is not None:
             pipeline.ingest.add_dst(dst)
@@ -342,6 +368,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="fail on the first corrupt artifact or per-satellite error "
              "instead of quarantining and continuing",
     )
+    _add_execution_arguments(analyze)
     _add_tle_arguments(analyze)
     analyze.set_defaults(func=cmd_analyze)
 
@@ -354,6 +381,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="fail on the first corrupt artifact or per-satellite error "
              "instead of quarantining and continuing",
     )
+    _add_execution_arguments(report)
     _add_tle_arguments(report)
     report.set_defaults(func=cmd_report)
 

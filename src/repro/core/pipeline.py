@@ -1,6 +1,16 @@
 """The CosmicDance pipeline orchestrator — the library's front door.
 
-Typical use::
+**Preferred API** — the one-shot facade :func:`repro.api.analyze`::
+
+    from repro import analyze
+
+    result = analyze(dst_index, tle_records)
+    result.storm_episodes          # detected solar events
+    result.associations            # trajectory changes closely after them
+
+Hold a :class:`CosmicDance` instead when you need the incremental-fetch
+loop (ingest more data, ``run()`` again) or the post-run analysis
+delegates::
 
     from repro import CosmicDance
 
@@ -8,20 +18,24 @@ Typical use::
     cd.ingest.add_dst(dst_index)
     cd.ingest.add_elements(tle_records)
     result = cd.run()
-
-    result.storm_episodes          # detected solar events
-    result.associations            # trajectory changes closely after them
     cd.post_event_curves(event)    # Fig. 4-style window analysis
 
 The pipeline is deliberately stage-wise and recomputable: ``run()`` can
 be called again after more data arrives (the incremental-fetch pattern
-of the original tool).
+of the original tool).  The per-satellite fleet stage (clean → detect →
+assess) runs through a pluggable :class:`~repro.exec.Executor` —
+serial by default, a process pool with ``config.workers >= 2`` — and
+its outcomes are memoized per satellite by content digest
+(``config.cache_stages``) so a re-run only recomputes satellites whose
+ingested records changed.  See ``docs/EXECUTION.md``.
 """
 
 from __future__ import annotations
 
 import logging
+import time
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.core.analysis import (
     AltitudeChangeSample,
@@ -32,7 +46,12 @@ from repro.core.analysis import (
     fleet_drag_daily,
     quiet_epochs,
 )
-from repro.core.cleaning import CleanedHistory, CleaningReport, clean_catalog
+from repro.core.cleaning import (
+    CleanedHistory,
+    CleaningReport,
+    clean_catalog,
+    clean_history,
+)
 from repro.core.config import CosmicDanceConfig
 from repro.core.decay import DecayAssessment, DecayState, assess_decay
 from repro.core.ingest import IngestState
@@ -46,13 +65,38 @@ from repro.core.relations import (
 )
 from repro.core.windows import AltitudeChangeCurves, post_event_curves
 from repro.errors import PipelineError
+from repro.exec import (
+    Executor,
+    SatelliteOutcome,
+    SatelliteTask,
+    StageMemo,
+    config_digest,
+    default_executor,
+    history_digest,
+)
 from repro.robustness.health import QuarantineLedger, RunHealth, StageHealth
 from repro.spaceweather.dst import DstIndex
 from repro.spaceweather.storms import StormEpisode, detect_episodes
 from repro.time import Epoch
+from repro.tle.catalog import SatelliteHistory
+
+if TYPE_CHECKING:
+    from repro.core.attribution import StormImpact
+    from repro.core.conjunction import ConjunctionReport
+    from repro.core.geography import BandExposure
+    from repro.core.prediction import ReentryPrediction
+    from repro.core.triggers import MeasurementCampaign, TriggerPolicy
+    from repro.orbits.shells import Shell
 
 
 logger = logging.getLogger("repro.core.pipeline")
+
+__all__ = [
+    "CosmicDance",
+    "PipelineResult",
+    "process_satellite",
+    "satellite_task",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -87,18 +131,106 @@ class PipelineResult:
         ]
 
 
-class CosmicDance:
-    """The measurement pipeline (paper §3)."""
+def satellite_task(history: SatelliteHistory) -> SatelliteTask:
+    """Package one satellite history as an executor work unit."""
+    elements = tuple(history)
+    return SatelliteTask(
+        catalog_number=history.catalog_number,
+        elements=elements,
+        digest=history_digest(elements),
+    )
 
-    def __init__(self, config: CosmicDanceConfig | None = None) -> None:
+
+def process_satellite(
+    task: SatelliteTask, config: CosmicDanceConfig, *, capture: bool = True
+) -> SatelliteOutcome:
+    """The per-satellite work unit: clean → detect → assess.
+
+    Module-level (picklable by reference) so any executor — in-process
+    or a worker pool — can run it.  Detection/assessment go through
+    this module's globals on purpose: the fault-injection seam used by
+    the robustness suite monkeypatches them here.
+
+    With ``capture=True`` an exception becomes the outcome's ``error``
+    fields (the pipeline quarantines the satellite); ``capture=False``
+    lets it propagate — strict mode's fail-fast.
+    """
+    stage = "clean"
+    report: CleaningReport | None = None
+    try:
+        history = SatelliteHistory(task.catalog_number)
+        for element in task.elements:
+            history.add(element)
+        cleaned = clean_history(history, config)
+        report = cleaned.report
+        if not len(cleaned):
+            # Every record filtered out: a valid (cacheable) outcome,
+            # matching clean_catalog's silent drop of empty histories.
+            return SatelliteOutcome(
+                catalog_number=task.catalog_number,
+                cleaned=None,
+                events=(),
+                assessment=None,
+                report=report,
+            )
+        stage = "detect"
+        events = list(detect_drag_spikes(cleaned, config))
+        events.extend(detect_decay_onsets(cleaned, config))
+        stage = "assess"
+        assessment = assess_decay(cleaned, config)
+    except Exception as exc:
+        if not capture:
+            raise
+        if report is None:
+            report = CleaningReport(len(task.elements), 0, 0, 0)
+        return SatelliteOutcome(
+            catalog_number=task.catalog_number,
+            cleaned=None,
+            events=(),
+            assessment=None,
+            report=report,
+            error=f"{type(exc).__name__}: {exc}",
+            error_stage=stage,
+        )
+    return SatelliteOutcome(
+        catalog_number=task.catalog_number,
+        cleaned=cleaned,
+        events=tuple(events),
+        assessment=assessment,
+        report=report,
+    )
+
+
+class CosmicDance:
+    """The measurement pipeline (paper §3).
+
+    ``executor`` overrides the one implied by ``config.workers``;
+    ``memo`` overrides the per-instance stage cache (pass a shared
+    :class:`~repro.exec.StageMemo` to pool memoization across
+    pipelines, or rely on ``config.cache_stages`` for the default).
+    """
+
+    def __init__(
+        self,
+        config: CosmicDanceConfig | None = None,
+        *,
+        executor: Executor | None = None,
+        memo: StageMemo | None = None,
+    ) -> None:
         self.config = config or CosmicDanceConfig()
         self.ingest = IngestState()
+        self.executor: Executor = executor or default_executor(self.config)
+        if memo is not None:
+            self.memo: StageMemo | None = memo
+        else:
+            self.memo = StageMemo() if self.config.cache_stages else None
         self._result: PipelineResult | None = None
 
     @property
     def ledger(self) -> QuarantineLedger:
-        """The shared quarantine ledger (hydrators append storage skips
-        here; ``run()`` folds it into ``PipelineResult.health``)."""
+        """The shared ingest-time quarantine ledger (hydrators append
+        storage skips here; each ``run()`` folds a snapshot of it into
+        that run's ``PipelineResult.health``)."""
         return self.ingest.ledger
 
     # --- orchestration ------------------------------------------------------
@@ -106,68 +238,98 @@ class CosmicDance:
         """Clean, detect storms, extract relations; returns the result."""
         catalog, dst = self.ingest.require_ready()
         logger.info(
-            "run: %d satellites, %d TLE records, %d Dst hours",
-            len(catalog), catalog.total_records(), len(dst),
+            "run: %d satellites, %d TLE records, %d Dst hours (executor=%s)",
+            len(catalog), catalog.total_records(), len(dst), self.executor.name,
         )
-        cleaned, report = clean_catalog(catalog, self.config)
+        # Per-run ledger: starts from a snapshot of everything ingestion
+        # quarantined so far, then collects this run's own entries.
+        # Folding a *snapshot* (not the live ledger) keeps repeated
+        # run() calls from double-counting earlier runs' entries.
+        run_ledger = QuarantineLedger(self.ingest.ledger.snapshot())
+
+        # Fleet stage: clean → detect → assess, one isolated unit per
+        # satellite, through the pluggable executor.  One history
+        # tripping an exception must not abort the fleet: failures
+        # quarantine the satellite (or, with config.strict, re-raise).
+        fleet_started = time.perf_counter()
+        tasks = [satellite_task(history) for history in catalog]
+        cfg_digest = config_digest(self.config)
+        cached: dict[int, SatelliteOutcome] = {}
+        dirty: list[SatelliteTask] = []
+        if self.memo is not None:
+            for task in tasks:
+                hit = self.memo.get(task.digest, cfg_digest)
+                if hit is not None:
+                    cached[task.catalog_number] = hit
+                else:
+                    dirty.append(task)
+            cache_hits, cache_misses = len(cached), len(dirty)
+        else:
+            dirty = list(tasks)
+            cache_hits = cache_misses = 0
+        computed = {
+            outcome.catalog_number: outcome
+            for outcome in self.executor.run_fleet(
+                process_satellite, dirty, self.config
+            )
+        }
+
+        events: list[TrajectoryEvent] = []
+        assessments: dict[int, DecayAssessment] = {}
+        cleaned: dict[int, CleanedHistory] = {}
+        report = CleaningReport(0, 0, 0, 0)
+        quarantined = 0
+        for task in tasks:
+            outcome = cached.get(task.catalog_number) or computed[task.catalog_number]
+            if outcome.report is not None:
+                report = report + outcome.report
+            if outcome.error is not None:
+                quarantined += 1
+                run_ledger.quarantine_satellite(
+                    task.catalog_number,
+                    outcome.error_stage or "detect",
+                    outcome.error,
+                )
+                logger.warning(
+                    "quarantined satellite %d in %s: %s",
+                    task.catalog_number, outcome.error_stage, outcome.error,
+                )
+                continue
+            if self.memo is not None and not outcome.from_cache:
+                self.memo.put(task.digest, cfg_digest, outcome)
+            if outcome.cleaned is None:
+                continue
+            cleaned[task.catalog_number] = outcome.cleaned
+            events.extend(outcome.events)
+            assessments[task.catalog_number] = outcome.assessment
+        fleet_elapsed = time.perf_counter() - fleet_started
         logger.info(
             "cleaning: kept %d/%d records (%d gross errors, %d orbit-raising)",
             report.kept, report.total_records,
             report.gross_errors, report.orbit_raising,
         )
+        if quarantined:
+            logger.warning(
+                "fleet stage quarantined %d/%d satellite(s)",
+                quarantined, len(tasks),
+            )
+        if cache_hits:
+            logger.info(
+                "stage cache: %d hit(s), %d recompute(s)",
+                cache_hits, cache_misses,
+            )
+
+        storms_started = time.perf_counter()
         threshold = dst.intensity_percentile(self.config.event_percentile)
         episodes = detect_episodes(dst, threshold)
+        storms_elapsed = time.perf_counter() - storms_started
         logger.info(
             "storms: %d episodes at/below %.1f nT", len(episodes), threshold
         )
 
-        # Per-satellite isolation: one history tripping an exception in
-        # detect/assess must not abort the fleet.  Events commit only
-        # after the whole satellite succeeds; failures quarantine the
-        # satellite (or, with config.strict, re-raise immediately).
-        events: list[TrajectoryEvent] = []
-        assessments: dict[int, DecayAssessment] = {}
-        healthy: dict[int, CleanedHistory] = {}
-        ledger = self.ingest.ledger
-        for catalog_number, history in cleaned.items():
-            try:
-                satellite_events = list(detect_drag_spikes(history, self.config))
-                satellite_events.extend(detect_decay_onsets(history, self.config))
-                assessment = assess_decay(history, self.config)
-            except Exception as exc:
-                if self.config.strict:
-                    raise
-                ledger.quarantine_satellite(
-                    catalog_number, "detect", f"{type(exc).__name__}: {exc}"
-                )
-                logger.warning(
-                    "quarantined satellite %d in detect/assess: %s",
-                    catalog_number, exc,
-                )
-                continue
-            healthy[catalog_number] = history
-            events.extend(satellite_events)
-            assessments[catalog_number] = assessment
-        quarantined = len(cleaned) - len(healthy)
-        if quarantined:
-            logger.warning(
-                "detect/assess quarantined %d/%d satellite(s)",
-                quarantined, len(cleaned),
-            )
-        health = RunHealth.from_ledger(
-            stages=(
-                StageHealth(
-                    stage="detect",
-                    attempted=len(cleaned),
-                    succeeded=len(healthy),
-                    quarantined=quarantined,
-                ),
-            ),
-            ledger=ledger,
-        )
-        cleaned = healthy
-
+        associate_started = time.perf_counter()
         associations = associate(episodes, events, self.config)
+        associate_elapsed = time.perf_counter() - associate_started
         logger.info(
             "relations: %d trajectory events, %d happen closely after storms",
             len(events), len(associations),
@@ -182,6 +344,34 @@ class CosmicDance:
                 len(decayed),
                 ", ".join(str(a.catalog_number) for a in decayed[:10]),
             )
+        health = RunHealth.from_ledger(
+            stages=(
+                StageHealth(
+                    stage="fleet",
+                    attempted=len(tasks),
+                    succeeded=len(tasks) - quarantined,
+                    quarantined=quarantined,
+                    elapsed_s=fleet_elapsed,
+                ),
+                StageHealth(
+                    stage="storms",
+                    attempted=1,
+                    succeeded=1,
+                    quarantined=0,
+                    elapsed_s=storms_elapsed,
+                ),
+                StageHealth(
+                    stage="associate",
+                    attempted=1,
+                    succeeded=1,
+                    quarantined=0,
+                    elapsed_s=associate_elapsed,
+                ),
+            ),
+            ledger=run_ledger,
+            cache_hits=cache_hits,
+            cache_misses=cache_misses,
+        )
         self._result = PipelineResult(
             config=self.config,
             dst=dst,
@@ -253,7 +443,7 @@ class CosmicDance:
             )
         return satellite_timeline(cleaned, self.result.dst)
 
-    def storm_impacts(self):
+    def storm_impacts(self) -> list["StormImpact"]:
         """Per-storm impact ledger (relations rolled up in aggregate)."""
         from repro.core.attribution import storm_impact_ledger
 
@@ -265,27 +455,70 @@ class CosmicDance:
             config=self.config,
         )
 
-    def reentry_predictions(self):
+    def reentry_predictions(self) -> list["ReentryPrediction"]:
         """Re-entry date estimates for permanently decaying satellites."""
         from repro.core.prediction import predict_fleet_reentries
 
         return predict_fleet_reentries(self.result.cleaned, config=self.config)
 
-    def band_exposure(self, **kwargs):
-        """§6 extension: storm exposure by absolute-latitude band."""
-        from repro.core.geography import storm_band_exposure
+    def band_exposure(
+        self,
+        *,
+        edges: tuple[float, ...] | None = None,
+        step_minutes: float = 20.0,
+        max_satellites: int | None = None,
+        **deprecated_kwargs,
+    ) -> "BandExposure":
+        """§6 extension: storm exposure by absolute-latitude band.
 
+        Keyword-only: *edges* (absolute-latitude band boundaries [deg];
+        default :data:`~repro.core.geography.DEFAULT_BAND_EDGES`),
+        *step_minutes* (propagation sampling grid), *max_satellites*
+        (cost cap for large fleets).  The old opaque ``**kwargs``
+        pass-through is deprecated.
+        """
+        from repro.core.geography import DEFAULT_BAND_EDGES, storm_band_exposure
+
+        if deprecated_kwargs:
+            _warn_kwargs_passthrough("band_exposure", deprecated_kwargs)
         return storm_band_exposure(
-            self.result.cleaned, self.result.storm_episodes, **kwargs
+            self.result.cleaned,
+            self.result.storm_episodes,
+            edges=edges if edges is not None else DEFAULT_BAND_EDGES,
+            step_minutes=step_minutes,
+            max_satellites=max_satellites,
+            **deprecated_kwargs,
         )
 
-    def conjunctions(self, **kwargs):
-        """§6 extension: shell-trespass and conjunction-pressure report."""
+    def conjunctions(
+        self,
+        *,
+        shells: tuple["Shell", ...] | None = None,
+        half_width_km: float = 2.5,
+        **deprecated_kwargs,
+    ) -> "ConjunctionReport":
+        """§6 extension: shell-trespass and conjunction-pressure report.
+
+        Keyword-only: *shells* (the slot layout to test against;
+        default :data:`~repro.orbits.shells.STARLINK_SHELLS`),
+        *half_width_km* (slot half-width).  The old opaque ``**kwargs``
+        pass-through is deprecated.
+        """
         from repro.core.conjunction import conjunction_report
+        from repro.orbits.shells import STARLINK_SHELLS
 
-        return conjunction_report(self.result.cleaned, **kwargs)
+        if deprecated_kwargs:
+            _warn_kwargs_passthrough("conjunctions", deprecated_kwargs)
+        return conjunction_report(
+            self.result.cleaned,
+            shells=shells if shells is not None else STARLINK_SHELLS,
+            half_width_km=half_width_km,
+            **deprecated_kwargs,
+        )
 
-    def measurement_campaigns(self, policy=None):
+    def measurement_campaigns(
+        self, policy: "TriggerPolicy | None" = None
+    ) -> list["MeasurementCampaign"]:
         """§6 extension: LEOScope-style storm-triggered campaign schedule."""
         from repro.core.triggers import schedule_campaigns
 
@@ -302,3 +535,15 @@ class CosmicDance:
         if threshold_nt is None:
             return list(self.result.storm_episodes)
         return detect_episodes(self.result.dst, threshold_nt)
+
+
+def _warn_kwargs_passthrough(method: str, kwargs: dict) -> None:
+    import warnings
+
+    warnings.warn(
+        f"CosmicDance.{method}() keyword pass-through for "
+        f"{sorted(kwargs)} is deprecated; use the named keyword-only "
+        f"parameters instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )

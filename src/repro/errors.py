@@ -61,6 +61,10 @@ class IngestError(PipelineError):
     """Data could not be ingested into the pipeline."""
 
 
+class ExecutionError(PipelineError):
+    """Executor misconfiguration or unrecoverable worker-pool failure."""
+
+
 class RobustnessError(ReproError):
     """Problem in the fault-tolerance layer (retry policies, fault plans)."""
 

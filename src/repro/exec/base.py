@@ -1,0 +1,128 @@
+"""Execution-layer value types: tasks, outcomes, and the Executor protocol.
+
+The fleet stage of the pipeline (clean → detect → assess, once per
+satellite) is embarrassingly parallel: satellites share no state until
+the association step.  This module defines the unit of work
+(:class:`SatelliteTask`), the unit of result (:class:`SatelliteOutcome`),
+and the :class:`Executor` protocol that runs a *stage function* over a
+fleet of tasks.
+
+Everything here must survive a process boundary: tasks, outcomes, and
+stage functions are pickled when a :class:`~repro.exec.parallel.
+ParallelExecutor` ships them to worker processes.  Stage functions are
+therefore plain module-level callables (pickled by reference), and
+outcomes carry failures as *strings*, never live exception objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Protocol, Sequence, runtime_checkable
+
+if TYPE_CHECKING:
+    from repro.core.cleaning import CleanedHistory, CleaningReport
+    from repro.core.config import CosmicDanceConfig
+    from repro.core.decay import DecayAssessment
+    from repro.core.relations import TrajectoryEvent
+    from repro.tle.elements import MeanElements
+
+
+@dataclass(frozen=True, slots=True)
+class SatelliteTask:
+    """One satellite's raw history, packaged for a fleet executor.
+
+    ``digest`` is the stable content hash of the element sets (see
+    :func:`repro.exec.digests.history_digest`); together with the config
+    digest it keys the stage-memoization cache.
+    """
+
+    catalog_number: int
+    #: Epoch-ordered raw element sets (pre-cleaning).
+    elements: tuple["MeanElements", ...]
+    #: Content digest of *elements* (memoization key half).
+    digest: str
+
+    @property
+    def record_count(self) -> int:
+        """Work-size proxy used for record-count-balanced chunking."""
+        return len(self.elements)
+
+
+@dataclass(frozen=True, slots=True)
+class SatelliteOutcome:
+    """Everything the per-satellite stage produced for one satellite.
+
+    Exactly one of these holds per outcome:
+
+    * success — ``cleaned``/``assessment`` set (``cleaned`` is None when
+      the cleaning filters removed every record, which is a valid,
+      cacheable result, not a failure);
+    * failure — ``error`` holds ``"ExcType: message"`` and
+      ``error_stage`` names the sub-stage (``clean``/``detect``/
+      ``assess``) that raised; the pipeline quarantines the satellite.
+    """
+
+    catalog_number: int
+    cleaned: "CleanedHistory | None"
+    events: tuple["TrajectoryEvent", ...]
+    assessment: "DecayAssessment | None"
+    #: Per-satellite cleaning bookkeeping (None only when cleaning
+    #: itself failed before producing a report).
+    report: "CleaningReport | None"
+    #: ``"ExcType: message"`` when the stage failed, else None.
+    error: str | None = None
+    #: Which sub-stage failed (``clean``/``detect``/``assess``/
+    #: ``executor`` for pool-level losses).
+    error_stage: str | None = None
+    #: True when this outcome was served from the stage cache.
+    from_cache: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+#: The per-satellite work unit.  Must be a module-level callable so a
+#: process pool can pickle it by reference.  ``capture=False`` lets the
+#: first exception propagate (strict mode); ``capture=True`` folds it
+#: into the outcome's ``error`` fields.
+StageFn = Callable[..., SatelliteOutcome]
+
+
+@runtime_checkable
+class Executor(Protocol):
+    """Runs a stage function over a fleet of satellite tasks.
+
+    Implementations must return one outcome per task **in task order**,
+    regardless of completion order, and must honor ``config.strict``:
+    strict runs re-raise the first stage failure, lenient runs capture
+    every failure in its outcome.
+    """
+
+    #: Short human-readable name (``serial``, ``parallel``), used in
+    #: logs and health reports.
+    name: str
+
+    def run_fleet(
+        self,
+        stage: StageFn,
+        tasks: Sequence[SatelliteTask],
+        config: "CosmicDanceConfig",
+    ) -> list[SatelliteOutcome]: ...
+
+
+def failure_outcome(
+    task: SatelliteTask, stage: str, error: BaseException | str
+) -> SatelliteOutcome:
+    """An outcome recording that *task* was lost to *error* at *stage*."""
+    if isinstance(error, BaseException):
+        error = f"{type(error).__name__}: {error}"
+    return SatelliteOutcome(
+        catalog_number=task.catalog_number,
+        cleaned=None,
+        events=(),
+        assessment=None,
+        report=None,
+        error=error,
+        error_stage=stage,
+    )

@@ -1,0 +1,53 @@
+"""Record-count-balanced task chunking for the parallel executor.
+
+Satellite histories vary wildly in length (a freshly launched bird has
+days of TLEs, a veteran has years), so fixed-size chunks leave workers
+idle behind one long chunk.  :func:`balanced_chunks` packs tasks with
+the classic LPT (longest-processing-time-first) greedy: sort by record
+count descending, always assign to the least-loaded chunk.  Ties break
+on chunk index and tasks keep their input order inside each chunk, so
+the chunking is fully deterministic for a given task sequence.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Sequence
+
+from repro.errors import ExecutionError
+from repro.exec.base import SatelliteTask
+
+
+def balanced_chunks(
+    tasks: Sequence[SatelliteTask], max_chunks: int
+) -> list[list[SatelliteTask]]:
+    """Pack *tasks* into at most *max_chunks* record-count-balanced chunks.
+
+    Returns non-empty chunks only; with fewer tasks than chunks each
+    task gets its own chunk.
+    """
+    if max_chunks <= 0:
+        raise ExecutionError(f"max_chunks must be positive, got {max_chunks}")
+    count = min(max_chunks, len(tasks))
+    if count == 0:
+        return []
+    chunks: list[list[SatelliteTask]] = [[] for _ in range(count)]
+    # Heap of (records assigned, chunk index): pop = least-loaded chunk,
+    # index as tie-break keeps assignment deterministic.
+    loads = [(0, index) for index in range(count)]
+    heapq.heapify(loads)
+    # Sort by size descending; enumerate index keeps the sort stable and
+    # lets us restore input order within each chunk afterwards.
+    by_size = sorted(
+        enumerate(tasks), key=lambda pair: (-pair[1].record_count, pair[0])
+    )
+    positions: list[list[int]] = [[] for _ in range(count)]
+    for position, task in by_size:
+        load, index = heapq.heappop(loads)
+        chunks[index].append(task)
+        positions[index].append(position)
+        heapq.heappush(loads, (load + max(1, task.record_count), index))
+    for index in range(count):
+        order = sorted(range(len(chunks[index])), key=positions[index].__getitem__)
+        chunks[index] = [chunks[index][i] for i in order]
+    return [chunk for chunk in chunks if chunk]

@@ -1,0 +1,61 @@
+"""Content digests keying the stage-memoization cache.
+
+A satellite's stage output is a pure function of (its raw element sets,
+the analysis config).  Both halves get a stable SHA-256 digest:
+
+* :func:`history_digest` hashes the canonical ``repr`` of every element
+  set — any added, removed, or changed record changes the digest, which
+  is exactly the "dirty satellite" signal incremental ingest needs;
+* :func:`config_digest` hashes the *analysis* fields of the config.
+  Execution-only knobs (``strict``, ``workers``, ``cache_stages``)
+  cannot change results and are excluded, so switching executors or
+  worker counts never invalidates the cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import fields
+from typing import Iterable
+
+from repro.core.config import CosmicDanceConfig
+from repro.tle.elements import MeanElements
+
+#: Config fields that select *how* the pipeline runs, not *what* it
+#: computes — excluded from the config digest.
+EXECUTION_FIELDS: frozenset[str] = frozenset({"strict", "workers", "cache_stages"})
+
+
+def history_digest(elements: Iterable[MeanElements]) -> str:
+    """SHA-256 over the canonical text of an element-set sequence.
+
+    ``repr`` of the frozen :class:`MeanElements` dataclass is
+    deterministic and round-trips floats exactly, so two histories with
+    identical records always share a digest and any record-level change
+    breaks it.
+    """
+    digest = hashlib.sha256()
+    for element in elements:
+        digest.update(repr(element).encode("utf-8"))
+        digest.update(b"\n")
+    return digest.hexdigest()
+
+
+def config_digest(config: CosmicDanceConfig) -> str:
+    """SHA-256 over the analysis-relevant config fields."""
+    parts = [
+        f"{field.name}={getattr(config, field.name)!r}"
+        for field in fields(config)
+        if field.name not in EXECUTION_FIELDS
+    ]
+    return hashlib.sha256(";".join(parts).encode("utf-8")).hexdigest()
+
+
+def cache_key(history_digest_hex: str, config_digest_hex: str) -> str:
+    """Filesystem-safe joint key for one (history, config) pair.
+
+    128 bits of history digest + 64 of config digest — far beyond
+    collision risk for any real constellation, short enough for a
+    file name.
+    """
+    return f"{history_digest_hex[:32]}-{config_digest_hex[:16]}"

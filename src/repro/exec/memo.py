@@ -1,0 +1,104 @@
+"""Stage memoization: skip recomputing satellites whose inputs are clean.
+
+The paper's operating loop is *incremental fetch → re-run*: new TLEs
+and Dst hours arrive, the pipeline runs again.  Most satellites' raw
+histories are unchanged between runs, and the per-satellite stage is a
+pure function of (history, analysis config) — so its outcome can be
+memoized under the digest pair from :mod:`repro.exec.digests` and
+served back instantly on the next run.  Only *dirty* satellites (new or
+changed records) recompute.
+
+:class:`StageMemo` is a two-tier cache:
+
+* an in-memory dict — hot within one process, covers the repeated
+  ``run()`` pattern of a long-lived :class:`~repro.core.pipeline.
+  CosmicDance`;
+* optionally, a :class:`~repro.io.store.DataStore` ``stage_cache/``
+  directory — write-through persistence, so a fresh process (e.g. the
+  next ``cosmicdance analyze --cache``) starts warm.
+
+Failed outcomes are never cached (transient faults must retry), and a
+corrupt or stale persistent entry degrades to a cache miss — it is
+quarantined through the store's ledger, never raised.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import TYPE_CHECKING
+
+from repro.exec.base import SatelliteOutcome
+from repro.exec.codec import decode_outcome, encode_outcome
+from repro.exec.digests import cache_key
+
+if TYPE_CHECKING:
+    from repro.io.store import DataStore
+
+
+class StageMemo:
+    """Memoized per-satellite stage outcomes keyed by digest pair."""
+
+    def __init__(self, store: "DataStore | None" = None) -> None:
+        self._memory: dict[tuple[str, str], SatelliteOutcome] = {}
+        #: Optional persistence tier; assignable after construction
+        #: (the CLI attaches the hydration store here).
+        self.store = store
+        #: Lifetime counters (across runs; per-run counts live in
+        #: :class:`~repro.robustness.health.RunHealth`).
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def get(
+        self, history_digest: str, config_digest: str
+    ) -> SatelliteOutcome | None:
+        """The cached outcome for a digest pair, or None (a miss).
+
+        Hits are returned with ``from_cache=True`` so health accounting
+        can tell them from fresh computes.
+        """
+        key = (history_digest, config_digest)
+        outcome = self._memory.get(key)
+        if outcome is None and self.store is not None:
+            outcome = self._load_persistent(key)
+        if outcome is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return replace(outcome, from_cache=True)
+
+    def put(
+        self, history_digest: str, config_digest: str, outcome: SatelliteOutcome
+    ) -> None:
+        """Memoize a successful outcome (failures are never cached)."""
+        if not outcome.ok:
+            return
+        key = (history_digest, config_digest)
+        outcome = replace(outcome, from_cache=False)
+        self._memory[key] = outcome
+        if self.store is not None:
+            self.store.save_stage_outcome(cache_key(*key), encode_outcome(outcome))
+
+    def clear(self) -> None:
+        """Drop the in-memory tier (persistent entries survive)."""
+        self._memory.clear()
+
+    def _load_persistent(
+        self, key: tuple[str, str]
+    ) -> SatelliteOutcome | None:
+        assert self.store is not None
+        name = cache_key(*key)
+        payload = self.store.load_stage_outcome(name)
+        if payload is None:
+            return None
+        try:
+            outcome = decode_outcome(payload)
+        except Exception as exc:
+            self.store.discard_stage_outcome(
+                name, f"corrupt stage-cache entry ({type(exc).__name__})"
+            )
+            return None
+        self._memory[key] = outcome
+        return outcome

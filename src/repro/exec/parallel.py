@@ -1,0 +1,123 @@
+"""Process-pool fleet executor.
+
+Tasks are packed into record-count-balanced chunks (several per worker,
+so one slow chunk cannot serialize the tail), each chunk runs the stage
+function in a worker process, and results are reassembled **in task
+order** — completion order never leaks into the result, so parallel
+runs are bit-identical to serial ones.
+
+Failure semantics (see ``docs/EXECUTION.md``):
+
+* a *stage* exception inside a worker is captured into the outcome's
+  ``error`` fields by the chunk runner (lenient mode) — the fleet
+  continues and the pipeline quarantines the satellite;
+* under ``config.strict`` the chunk runner does not capture: the
+  exception pickles back through the pool and re-raises here with its
+  original type, matching serial strict behaviour;
+* a *pool* failure (worker killed, unpicklable payload, broken pipe)
+  loses the whole chunk: lenient runs turn every task of that chunk
+  into an ``executor``-stage failure outcome, strict runs re-raise.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import TYPE_CHECKING, Sequence
+
+from repro.errors import ExecutionError
+from repro.exec.base import SatelliteOutcome, SatelliteTask, StageFn, failure_outcome
+from repro.exec.chunking import balanced_chunks
+
+if TYPE_CHECKING:
+    from repro.core.config import CosmicDanceConfig
+
+
+def run_chunk(
+    stage: StageFn, tasks: Sequence[SatelliteTask], config: "CosmicDanceConfig"
+) -> list[SatelliteOutcome]:
+    """Worker-side loop: run the stage over one chunk of tasks.
+
+    Module-level so the pool can pickle it by reference.  In lenient
+    mode every task yields an outcome even when its stage raises; in
+    strict mode the first exception aborts the chunk and travels back
+    to the parent.
+    """
+    capture = not config.strict
+    return [stage(task, config, capture=capture) for task in tasks]
+
+
+class ParallelExecutor:
+    """Fleet execution on a :class:`~concurrent.futures.ProcessPoolExecutor`.
+
+    ``workers`` defaults to the machine's CPU count.  ``chunks_per_worker``
+    controls the chunking granularity: more chunks = better load
+    balance, more IPC.  ``mp_context`` picks the multiprocessing start
+    method (``"fork"``/``"spawn"``/``"forkserver"``; None = platform
+    default) — tests that rely on monkeypatched state reaching workers
+    pin ``"fork"``.
+    """
+
+    name = "parallel"
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        *,
+        chunks_per_worker: int = 4,
+        mp_context: str | None = None,
+    ) -> None:
+        if workers is not None and workers < 1:
+            raise ExecutionError(f"workers must be >= 1, got {workers}")
+        if chunks_per_worker < 1:
+            raise ExecutionError(
+                f"chunks_per_worker must be >= 1, got {chunks_per_worker}"
+            )
+        self.workers = workers if workers is not None else (os.cpu_count() or 1)
+        self.chunks_per_worker = chunks_per_worker
+        self.mp_context = mp_context
+
+    def run_fleet(
+        self,
+        stage: StageFn,
+        tasks: Sequence[SatelliteTask],
+        config: "CosmicDanceConfig",
+    ) -> list[SatelliteOutcome]:
+        if not tasks:
+            return []
+        chunks = balanced_chunks(tasks, self.workers * self.chunks_per_worker)
+        context = (
+            multiprocessing.get_context(self.mp_context) if self.mp_context else None
+        )
+        by_number: dict[int, SatelliteOutcome] = {}
+        with ProcessPoolExecutor(
+            max_workers=min(self.workers, len(chunks)), mp_context=context
+        ) as pool:
+            futures = [
+                pool.submit(run_chunk, stage, chunk, config) for chunk in chunks
+            ]
+            for future, chunk in zip(futures, chunks):
+                try:
+                    outcomes = future.result()
+                except Exception as exc:
+                    # Stage exceptions only reach here in strict mode
+                    # (the chunk runner captures them otherwise); what's
+                    # left is pool-level loss of the whole chunk.
+                    if config.strict:
+                        raise
+                    for task in chunk:
+                        by_number[task.catalog_number] = failure_outcome(
+                            task, "executor", exc
+                        )
+                else:
+                    for outcome in outcomes:
+                        by_number[outcome.catalog_number] = outcome
+        # Deterministic result ordering: task order, never completion order.
+        return [by_number[task.catalog_number] for task in tasks]
+
+    def __repr__(self) -> str:
+        return (
+            f"ParallelExecutor(workers={self.workers}, "
+            f"chunks_per_worker={self.chunks_per_worker})"
+        )

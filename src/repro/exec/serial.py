@@ -1,0 +1,36 @@
+"""The in-process executor — the default, and the semantic baseline.
+
+Runs the stage function task by task in the calling process.  Strict
+mode lets the first exception propagate with its original type and
+traceback; lenient mode captures each failure in its outcome so the
+pipeline can quarantine the satellite and continue.  Every other
+executor must be observationally equivalent to this one on healthy
+fleets (the parity suite enforces it).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+from repro.exec.base import SatelliteOutcome, SatelliteTask, StageFn
+
+if TYPE_CHECKING:
+    from repro.core.config import CosmicDanceConfig
+
+
+class SerialExecutor:
+    """Runs the fleet stage satellite by satellite, in task order."""
+
+    name = "serial"
+
+    def run_fleet(
+        self,
+        stage: StageFn,
+        tasks: Sequence[SatelliteTask],
+        config: "CosmicDanceConfig",
+    ) -> list[SatelliteOutcome]:
+        capture = not config.strict
+        return [stage(task, config, capture=capture) for task in tasks]
+
+    def __repr__(self) -> str:
+        return "SerialExecutor()"

@@ -136,6 +136,10 @@ class DataStore:
     def _quarantine_dir(self) -> pathlib.Path:
         return self.root / "quarantine"
 
+    @property
+    def _stage_cache_dir(self) -> pathlib.Path:
+        return self.root / "stage_cache"
+
     # --- Dst -------------------------------------------------------------
     def save_dst(self, dst: DstIndex) -> None:
         """Cache the Dst index (overwrites)."""
@@ -286,6 +290,39 @@ class DataStore:
                 self._quarantine_file(path)
                 self.save_history(history)  # self-heal the cache
         return history
+
+    # --- stage-outcome cache (see repro.exec.memo) --------------------------
+    def save_stage_outcome(self, key: str, payload: str) -> None:
+        """Persist one encoded stage outcome under its cache key."""
+        self._stage_cache_dir.mkdir(exist_ok=True)
+        self._atomic_write(self._stage_cache_dir / f"{key}.json", payload)
+
+    def load_stage_outcome(self, key: str) -> str | None:
+        """Load one encoded stage outcome, or None when absent.
+
+        Content-addressed entries are disposable by design, so an
+        unreadable file is always treated as a miss (ledgered, never
+        raised) — the pipeline just recomputes the satellite.
+        """
+        path = self._stage_cache_dir / f"{key}.json"
+        if not path.exists():
+            return None
+        try:
+            return self._call(self._read_text, path)
+        except OSError as exc:
+            self.ledger.quarantine_artifact(
+                path.name,
+                STORAGE_STAGE,
+                f"unreadable stage-cache entry ({type(exc).__name__})",
+            )
+            self._quarantine_file(path)
+            return None
+
+    def discard_stage_outcome(self, key: str, reason: str) -> None:
+        """Quarantine one stage-cache entry (corrupt or stale)."""
+        path = self._stage_cache_dir / f"{key}.json"
+        self.ledger.quarantine_artifact(path.name, STORAGE_STAGE, reason)
+        self._quarantine_file(path)
 
     def load_catalog(self) -> SatelliteCatalog | None:
         """Load the whole cached catalog, or None when nothing is cached.

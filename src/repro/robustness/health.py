@@ -119,6 +119,8 @@ class StageHealth:
     attempted: int
     succeeded: int
     quarantined: int
+    #: Wall-clock duration of the stage [s] (0.0 when untimed).
+    elapsed_s: float = 0.0
 
     @property
     def ok(self) -> bool:
@@ -131,6 +133,10 @@ class RunHealth:
 
     stages: tuple[StageHealth, ...]
     entries: tuple[QuarantineEntry, ...]
+    #: Stage-memoization accounting for this run: satellites served
+    #: from cache vs recomputed (both 0 when caching is off).
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     @classmethod
     def empty(cls) -> "RunHealth":
@@ -138,9 +144,19 @@ class RunHealth:
 
     @classmethod
     def from_ledger(
-        cls, stages: Iterable[StageHealth], ledger: QuarantineLedger
+        cls,
+        stages: Iterable[StageHealth],
+        ledger: QuarantineLedger,
+        *,
+        cache_hits: int = 0,
+        cache_misses: int = 0,
     ) -> "RunHealth":
-        return cls(stages=tuple(stages), entries=ledger.snapshot())
+        return cls(
+            stages=tuple(stages),
+            entries=ledger.snapshot(),
+            cache_hits=cache_hits,
+            cache_misses=cache_misses,
+        )
 
     @property
     def ok(self) -> bool:
@@ -159,10 +175,17 @@ class RunHealth:
     def summary(self) -> str:
         """One-line human summary."""
         if self.ok:
-            return "healthy: nothing quarantined"
-        satellites = len(self.quarantined_satellites)
-        artifacts = sum(1 for e in self.entries if e.kind == KIND_ARTIFACT)
-        return (
-            f"degraded: {satellites} satellite(s) and "
-            f"{artifacts} artifact(s) quarantined"
-        )
+            text = "healthy: nothing quarantined"
+        else:
+            satellites = len(self.quarantined_satellites)
+            artifacts = sum(1 for e in self.entries if e.kind == KIND_ARTIFACT)
+            text = (
+                f"degraded: {satellites} satellite(s) and "
+                f"{artifacts} artifact(s) quarantined"
+            )
+        if self.cache_hits or self.cache_misses:
+            text += (
+                f" (stage cache: {self.cache_hits} hit(s), "
+                f"{self.cache_misses} miss(es))"
+            )
+        return text

@@ -1,0 +1,60 @@
+"""Unit tests for record-count-balanced chunking."""
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.exec import SatelliteTask, balanced_chunks
+
+from tests.core.helpers import record
+
+
+def task(catalog, records):
+    elements = tuple(record(catalog, float(d), 550.0) for d in range(records))
+    return SatelliteTask(catalog_number=catalog, elements=elements, digest=f"d{catalog}")
+
+
+class TestBalancedChunks:
+    def test_empty(self):
+        assert balanced_chunks([], 4) == []
+
+    def test_invalid_max_chunks(self):
+        with pytest.raises(ExecutionError):
+            balanced_chunks([task(1, 1)], 0)
+
+    def test_fewer_tasks_than_chunks(self):
+        tasks = [task(1, 3), task(2, 5)]
+        chunks = balanced_chunks(tasks, 8)
+        assert sorted(len(c) for c in chunks) == [1, 1]
+
+    def test_partition_is_exact(self):
+        tasks = [task(n, n) for n in range(1, 20)]
+        chunks = balanced_chunks(tasks, 4)
+        flattened = sorted(t.catalog_number for c in chunks for t in c)
+        assert flattened == list(range(1, 20))
+
+    def test_balances_by_record_count(self):
+        # One giant history plus many small ones: LPT must isolate the
+        # giant rather than stacking small tasks behind it.
+        tasks = [task(1, 1000)] + [task(n, 10) for n in range(2, 12)]
+        chunks = balanced_chunks(tasks, 4)
+        loads = sorted(sum(t.record_count for t in c) for c in chunks)
+        assert loads[-1] == 1000  # the giant sits alone
+        assert loads[0] >= 30  # the small tasks spread over the rest
+
+    def test_deterministic(self):
+        tasks = [task(n, (n * 7) % 13 + 1) for n in range(1, 30)]
+        first = balanced_chunks(tasks, 5)
+        second = balanced_chunks(tasks, 5)
+        assert first == second
+
+    def test_preserves_input_order_within_chunks(self):
+        tasks = [task(n, 5) for n in range(1, 10)]
+        order = {t.catalog_number: i for i, t in enumerate(tasks)}
+        for chunk in balanced_chunks(tasks, 3):
+            positions = [order[t.catalog_number] for t in chunk]
+            assert positions == sorted(positions)
+
+    def test_zero_record_tasks_count_as_unit_load(self):
+        tasks = [task(n, 0) for n in range(1, 9)]
+        chunks = balanced_chunks(tasks, 4)
+        assert sorted(len(c) for c in chunks) == [2, 2, 2, 2]

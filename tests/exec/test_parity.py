@@ -1,0 +1,90 @@
+"""Serial/parallel parity and incremental-rerun cache behaviour.
+
+The acceptance bar for the execution subsystem: a parallel run is
+bit-identical to a serial one on a seeded scenario, and a re-run after
+incremental ingest only recomputes the satellites whose records changed.
+"""
+
+from repro import CosmicDance, CosmicDanceConfig
+from repro.exec import ParallelExecutor, SerialExecutor
+from repro.simulation.scenario import quickstart_scenario
+
+from tests.core.helpers import record, steady_history
+
+
+def seeded_pipeline(config=None, executor=None):
+    scenario = quickstart_scenario(seed=2)
+    cd = CosmicDance(config, executor=executor)
+    cd.ingest.add_dst(scenario.dst)
+    cd.ingest.add_elements(scenario.catalog.all_elements())
+    return cd
+
+
+class TestParity:
+    def test_parallel_matches_serial_on_seeded_scenario(self):
+        serial = seeded_pipeline(executor=SerialExecutor()).run()
+        parallel = seeded_pipeline(executor=ParallelExecutor(4)).run()
+        assert parallel.storm_episodes == serial.storm_episodes
+        assert parallel.trajectory_events == serial.trajectory_events
+        assert parallel.associations == serial.associations
+        assert parallel.decay_assessments == serial.decay_assessments
+        assert parallel.cleaning_report == serial.cleaning_report
+        assert parallel.health.ledger_text() == serial.health.ledger_text()
+
+    def test_workers_config_selects_parallel(self):
+        cd = seeded_pipeline(CosmicDanceConfig(workers=2))
+        assert cd.executor.name == "parallel"
+        serial = seeded_pipeline().run()
+        parallel = cd.run()
+        assert parallel.trajectory_events == serial.trajectory_events
+
+
+class TestIncrementalRerun:
+    def test_second_run_is_all_hits(self):
+        cd = seeded_pipeline()
+        first = cd.run()
+        assert first.health.cache_hits == 0
+        assert first.health.cache_misses == len(first.decay_assessments)
+        second = cd.run()
+        assert second.health.cache_hits == first.health.cache_misses
+        assert second.health.cache_misses == 0
+        assert second.trajectory_events == first.trajectory_events
+        assert second.decay_assessments == first.decay_assessments
+
+    def test_rerun_recomputes_only_dirty_satellites(self):
+        cd = seeded_pipeline()
+        first = cd.run()
+        total = first.health.cache_misses
+        # New records for exactly one satellite dirty its digest; every
+        # other satellite must be served from the memo.
+        dirty_number = next(iter(cd.ingest.catalog)).catalog_number
+        cd.ingest.add_elements(
+            [record(dirty_number, 400.0 + d, 550.0) for d in range(3)]
+        )
+        second = cd.run()
+        assert second.health.cache_misses == 1
+        assert second.health.cache_hits == total - 1
+
+    def test_brand_new_satellite_is_the_only_miss(self):
+        cd = seeded_pipeline()
+        total = cd.run().health.cache_misses
+        cd.ingest.add_elements(list(steady_history(catalog=99999, days=30)))
+        second = cd.run()
+        assert second.health.cache_misses == 1
+        assert second.health.cache_hits == total
+        assert 99999 in second.decay_assessments
+
+    def test_cache_disabled_recomputes_everything(self):
+        cd = seeded_pipeline(CosmicDanceConfig(cache_stages=False))
+        assert cd.memo is None
+        first = cd.run()
+        second = cd.run()
+        assert second.health.cache_hits == 0
+        assert second.health.cache_misses == 0
+        assert second.trajectory_events == first.trajectory_events
+
+    def test_fleet_stage_is_timed(self):
+        health = seeded_pipeline().run().health
+        by_name = {s.stage: s for s in health.stages}
+        assert set(by_name) == {"fleet", "storms", "associate"}
+        assert by_name["fleet"].elapsed_s > 0.0

@@ -1,0 +1,86 @@
+"""Chaos tests for the parallel executor: worker faults must quarantine,
+never abort the fleet.
+
+These pin ``mp_context="fork"`` so monkeypatched fault injectors reach
+the worker processes (forked children inherit the patched module state).
+"""
+
+import numpy as np
+import pytest
+
+import repro.core.pipeline as pipeline_module
+from repro import CosmicDance, CosmicDanceConfig
+from repro.exec import ParallelExecutor
+from repro.spaceweather import DstIndex
+
+from tests.core.helpers import START, steady_history
+
+pytestmark = pytest.mark.chaos
+
+
+def noisy_dst(days=60):
+    hours = np.arange(days * 24)
+    return DstIndex.from_hourly(START, -10.0 + 3.0 * np.sin(0.7 * hours))
+
+
+def poisoned_assess(poisoned_numbers):
+    from repro.core.decay import assess_decay
+
+    def assess(history, config):
+        if history.catalog_number in poisoned_numbers:
+            raise ZeroDivisionError("poisoned history")
+        return assess_decay(history, config)
+
+    return assess
+
+
+def parallel_pipeline(strict=False, satellites=6):
+    cd = CosmicDance(
+        CosmicDanceConfig(strict=strict),
+        executor=ParallelExecutor(2, mp_context="fork"),
+    )
+    cd.ingest.add_dst(noisy_dst())
+    for catalog in range(1, satellites + 1):
+        cd.ingest.add_elements(list(steady_history(catalog=catalog, days=60)))
+    return cd
+
+
+class TestParallelFaultIsolation:
+    def test_worker_faults_quarantine_not_abort(self, monkeypatch):
+        monkeypatch.setattr(
+            pipeline_module, "assess_decay", poisoned_assess({2, 5})
+        )
+        result = parallel_pipeline().run()
+        assert sorted(result.decay_assessments) == [1, 3, 4, 6]
+        assert result.health.quarantined_satellites == {
+            2: "ZeroDivisionError: poisoned history",
+            5: "ZeroDivisionError: poisoned history",
+        }
+        stage = result.health.stages[0]
+        assert (stage.attempted, stage.succeeded, stage.quarantined) == (6, 4, 2)
+
+    def test_quarantine_reasons_match_serial(self, monkeypatch):
+        monkeypatch.setattr(pipeline_module, "assess_decay", poisoned_assess({3}))
+        parallel = parallel_pipeline().run()
+        serial = CosmicDance(CosmicDanceConfig())
+        serial.ingest.add_dst(noisy_dst())
+        for catalog in range(1, 7):
+            serial.ingest.add_elements(list(steady_history(catalog=catalog, days=60)))
+        serial_result = serial.run()
+        # Byte-for-byte ledger parity: parallelism must not leak into
+        # the canonical degradation record.
+        assert parallel.health.ledger_text() == serial_result.health.ledger_text()
+
+    def test_deterministic_across_repeated_runs(self, monkeypatch):
+        monkeypatch.setattr(
+            pipeline_module, "assess_decay", poisoned_assess({1, 4})
+        )
+        first = parallel_pipeline().run()
+        second = parallel_pipeline().run()
+        assert first.health.ledger_text() == second.health.ledger_text()
+        assert first.trajectory_events == second.trajectory_events
+
+    def test_strict_mode_propagates_original_type(self, monkeypatch):
+        monkeypatch.setattr(pipeline_module, "assess_decay", poisoned_assess({2}))
+        with pytest.raises(ZeroDivisionError):
+            parallel_pipeline(strict=True).run()

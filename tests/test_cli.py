@@ -100,6 +100,42 @@ class TestAnalyzeCommand:
         assert "run health: healthy" in capsys.readouterr().out
 
 
+class TestExecutionFlags:
+    def test_analyze_with_workers(self, cache, capsys):
+        assert main(["analyze", "--cache", str(cache), "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Storm episodes" in out
+        assert "44800" in out
+
+    def test_workers_output_matches_serial(self, cache, capsys):
+        assert main(["analyze", "--cache", str(cache), "--no-stage-cache"]) == 0
+        serial_out = capsys.readouterr().out
+        assert (
+            main(
+                ["analyze", "--cache", str(cache), "--no-stage-cache",
+                 "--workers", "2"]
+            )
+            == 0
+        )
+        assert capsys.readouterr().out == serial_out
+
+    def test_stage_cache_persists_between_invocations(self, cache, capsys):
+        assert main(["analyze", "--cache", str(cache)]) == 0
+        first = capsys.readouterr().out
+        assert "miss(es)" in first
+        assert "0 hit(s)" in first
+        assert main(["analyze", "--cache", str(cache)]) == 0
+        second = capsys.readouterr().out
+        assert "0 miss(es)" in second
+        assert (cache / "stage_cache").is_dir()
+
+    def test_no_stage_cache_disables_memoization(self, cache, capsys):
+        assert main(["analyze", "--cache", str(cache), "--no-stage-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "stage cache" not in out
+        assert not (cache / "stage_cache").exists()
+
+
 class TestDegradedCache:
     def corrupt_one_history(self, cache):
         path = cache / "tles" / "44713.tle"
