@@ -22,9 +22,11 @@ import time
 from repro import CosmicDance, CosmicDanceConfig
 from repro.core.pipeline import process_satellite, satellite_task
 from repro.exec import ParallelExecutor, SerialExecutor
+from repro.obs import Tracer
 from repro.simulation import paper_scenario
 
 BENCH_PATH = pathlib.Path(__file__).parent.parent / "BENCH_parallel.json"
+TRACE_BENCH_PATH = pathlib.Path(__file__).parent.parent / "BENCH_trace.json"
 
 WORKERS = 4
 
@@ -107,3 +109,54 @@ def test_parallel_fleet_speedup(emit):
     # The pool only wins where there are cores to win on.
     if (os.cpu_count() or 1) >= 4:
         assert speedup >= 2.0
+
+
+def test_traced_fleet_overhead(emit):
+    """Tracing the fleet stage must stay under 5% wall-clock overhead.
+
+    One span per satellite plus one codec round trip per chunk is the
+    entire per-record cost, so anything above noise level here means an
+    accidental hot-path allocation crept into the tracer.
+    """
+    tasks, _ = fleet_tasks()
+    config = CosmicDanceConfig()
+    executor = ParallelExecutor(WORKERS)
+
+    untraced_s, untraced = timed(
+        executor.run_fleet, process_satellite, tasks, config, repeats=5
+    )
+    traced_s, traced = timed(
+        lambda: executor.run_fleet(
+            process_satellite, tasks, config, tracer=Tracer()
+        ),
+        repeats=5,
+    )
+    assert traced == untraced  # tracing must not perturb the science
+
+    overhead = traced_s / untraced_s - 1.0 if untraced_s else 0.0
+    TRACE_BENCH_PATH.write_text(
+        json.dumps(
+            {
+                "cpu_count": os.cpu_count(),
+                "workers": WORKERS,
+                "satellites": len(tasks),
+                "fleet_untraced_s": round(untraced_s, 4),
+                "fleet_traced_s": round(traced_s, 4),
+                "overhead_pct": round(100.0 * overhead, 2),
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+    emit(
+        "traced_fleet_overhead",
+        "\n".join(
+            [
+                f"fleet stage, {len(tasks)} satellites, x{WORKERS} workers:",
+                f"  untraced          {untraced_s:8.3f} s",
+                f"  traced            {traced_s:8.3f} s   "
+                f"overhead {100.0 * overhead:+.2f}%",
+            ]
+        ),
+    )
+    assert overhead < 0.05

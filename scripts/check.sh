@@ -21,6 +21,15 @@ python -m pytest -x -q tests/robustness
 echo "== chaos suite =="
 python -m pytest -x -q -m chaos tests/robustness
 
+echo "== coverage gate =="
+# pytest-cov is optional (the container may not ship it); when present,
+# hold line coverage of the repro package at or above the floor.
+if python -c "import pytest_cov" 2>/dev/null; then
+  python -m pytest -x -q --cov=repro --cov-fail-under=85
+else
+  echo "pytest-cov not installed; skipping coverage gate"
+fi
+
 echo "== parallel smoke run (2 workers) =="
 SMOKE_DIR="$(mktemp -d)"
 trap 'rm -rf "$SMOKE_DIR"' EXIT

@@ -27,7 +27,14 @@ from repro.core.config import CosmicDanceConfig
 from repro.core.decay import DecayAssessment, DecayState
 from repro.core.pipeline import CosmicDance, PipelineResult
 from repro.core.relations import Association, TrajectoryEvent, TrajectoryEventKind
-from repro.exec import Executor, ParallelExecutor, SerialExecutor, StageMemo
+from repro.exec import (
+    Executor,
+    ParallelExecutor,
+    SerialExecutor,
+    StageMemo,
+    result_digest,
+)
+from repro.obs import MetricsRegistry, Tracer
 from repro.robustness.health import QuarantineLedger, RunHealth
 from repro.robustness.retry import RetryPolicy
 from repro.spaceweather.dst import DstIndex
@@ -54,6 +61,7 @@ __all__ = [
     "Epoch",
     "Executor",
     "MeanElements",
+    "MetricsRegistry",
     "ParallelExecutor",
     "PipelineResult",
     "QuarantineLedger",
@@ -65,6 +73,7 @@ __all__ = [
     "StormEpisode",
     "StormLevel",
     "TimeSeries",
+    "Tracer",
     "TrajectoryEvent",
     "TrajectoryEventKind",
     "analyze",
@@ -73,5 +82,6 @@ __all__ = [
     "format_tle",
     "parse_tle",
     "parse_tle_file",
+    "result_digest",
     "__version__",
 ]

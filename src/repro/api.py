@@ -25,7 +25,7 @@ of I/O most scripts start with can be skipped entirely::
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable
 
 from repro.core.config import CosmicDanceConfig
 from repro.core.pipeline import CosmicDance, PipelineResult
@@ -34,6 +34,9 @@ from repro.exec import Executor, StageMemo
 from repro.spaceweather.dst import DstIndex
 from repro.tle.catalog import SatelliteCatalog
 from repro.tle.elements import MeanElements
+
+if TYPE_CHECKING:
+    from repro.obs.tracer import Tracer
 
 __all__ = ["analyze"]
 
@@ -45,6 +48,7 @@ def analyze(
     config: CosmicDanceConfig | None = None,
     executor: Executor | None = None,
     memo: StageMemo | None = None,
+    tracer: "Tracer | None" = None,
 ) -> PipelineResult:
     """Run the full CosmicDance pipeline once over the given data.
 
@@ -57,12 +61,14 @@ def analyze(
     *config* tunes thresholds and execution (``workers=4`` parallelises
     the fleet stage); *executor*/*memo* inject a specific
     :class:`~repro.exec.Executor` or a shared stage cache — see
-    ``docs/EXECUTION.md``.  Returns the :class:`~repro.core.pipeline.
-    PipelineResult`; post-run delegates (Fig. 4 curves, re-entry
-    predictions, ...) need a held :class:`~repro.core.pipeline.
-    CosmicDance` instead.
+    ``docs/EXECUTION.md``.  *tracer* (or ``config.trace``) turns on the
+    observability subsystem: pass a live :class:`~repro.obs.Tracer` and
+    read its spans back after the call — see ``docs/OBSERVABILITY.md``.
+    Returns the :class:`~repro.core.pipeline.PipelineResult`; post-run
+    delegates (Fig. 4 curves, re-entry predictions, ...) need a held
+    :class:`~repro.core.pipeline.CosmicDance` instead.
     """
-    pipeline = CosmicDance(config, executor=executor, memo=memo)
+    pipeline = CosmicDance(config, executor=executor, memo=memo, tracer=tracer)
     pipeline.ingest.add_dst(_coerce_dst(dst))
     _ingest_elements(pipeline, elements)
     return pipeline.run()

@@ -10,7 +10,8 @@ Subcommands mirror how the original tool is operated:
   relations, and permanent-decay alarms;
 * ``report``   — the pipeline plus the full run-summary report;
 * ``lifetime`` — uncontrolled orbital-lifetime estimates;
-* ``triggers`` — LEOScope-style storm-triggered campaign schedules.
+* ``triggers`` — LEOScope-style storm-triggered campaign schedules;
+* ``trace-report`` — render a persisted ``--trace`` run's span tree.
 
 Example session::
 
@@ -75,6 +76,13 @@ def _add_execution_arguments(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="disable per-satellite stage memoization",
     )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="record an observability trace (spans + metrics); with "
+             "--cache it is persisted to obs/trace.jsonl for "
+             "'cosmicdance trace-report'",
+    )
 
 
 def _pipeline_for(args: argparse.Namespace) -> CosmicDance:
@@ -84,11 +92,20 @@ def _pipeline_for(args: argparse.Namespace) -> CosmicDance:
             strict=getattr(args, "strict", False),
             workers=getattr(args, "workers", 0),
             cache_stages=not getattr(args, "no_stage_cache", False),
+            trace=getattr(args, "trace", False),
         )
     )
 
 
-def _hydrate(pipeline: CosmicDance, args: argparse.Namespace) -> None:
+def _hydrate(
+    pipeline: CosmicDance, args: argparse.Namespace
+) -> DataStore | None:
+    """Load --cache / --dst / --tles into the pipeline.
+
+    Returns the hydration store when --cache was given (the trace sink
+    reuses it), else None.
+    """
+    store: DataStore | None = None
     loaded_dst = False
     if args.cache:
         # Lenient by default: transient read errors are retried, corrupt
@@ -97,7 +114,11 @@ def _hydrate(pipeline: CosmicDance, args: argparse.Namespace) -> None:
         # switches salvage off and fails on first contact.
         store = DataStore(
             args.cache,
-            retry=RetryPolicy(),
+            # When tracing, storage retries surface as retry.* counters
+            # in the same run registry the pipeline snapshots.
+            retry=RetryPolicy(
+                metrics=pipeline.metrics if pipeline.tracer.enabled else None
+            ),
             salvage=not pipeline.config.strict,
             ledger=pipeline.ledger,
         )
@@ -119,6 +140,27 @@ def _hydrate(pipeline: CosmicDance, args: argparse.Namespace) -> None:
         pipeline.ingest.add_tle_text(tle_path.read_text(), source=tle_path.name)
     if not loaded_dst and not len(pipeline.ingest.catalog):
         raise ReproError("no data: pass --dst/--tles or --cache")
+    return store
+
+
+def _emit_trace(pipeline: CosmicDance, store: DataStore | None) -> str | None:
+    """Persist (or summarise) an enabled tracer after a run.
+
+    With a store the JSONL event stream lands in ``obs/`` and the
+    relative artifact name is returned; without one the rendered report
+    is printed directly, since there is nowhere durable to put it.
+    """
+    if not pipeline.tracer.enabled:
+        return None
+    from repro.obs import render_trace_report, write_trace
+
+    if store is not None:
+        return write_trace(store, pipeline.tracer, pipeline.metrics)
+    events = list(pipeline.tracer.events())
+    events.extend(pipeline.metrics.events())
+    print()
+    print(render_trace_report(events))
+    return None
 
 
 def _render_health(pipeline: CosmicDance) -> str:
@@ -218,7 +260,7 @@ def cmd_clean(args: argparse.Namespace) -> int:
 
 def cmd_analyze(args: argparse.Namespace) -> int:
     pipeline = _pipeline_for(args)
-    _hydrate(pipeline, args)
+    store = _hydrate(pipeline, args)
     result = pipeline.run()
 
     print(
@@ -262,6 +304,9 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     )
     print()
     print(_render_health(pipeline))
+    artifact = _emit_trace(pipeline, store)
+    if artifact is not None:
+        print(f"trace written to {args.cache / 'obs' / artifact}")
     return 0
 
 
@@ -323,9 +368,26 @@ def cmd_report(args: argparse.Namespace) -> int:
     from repro.core.summary import summarize_run
 
     pipeline = _pipeline_for(args)
-    _hydrate(pipeline, args)
+    store = _hydrate(pipeline, args)
     result = pipeline.run()
     print(summarize_run(result))
+    artifact = _emit_trace(pipeline, store)
+    if artifact is not None:
+        print(f"trace written to {args.cache / 'obs' / artifact}")
+    return 0
+
+
+def cmd_trace_report(args: argparse.Namespace) -> int:
+    from repro.obs import parse_events, render_trace_report
+
+    store = DataStore(args.cache)
+    jsonl = store.load_trace(name=args.name)
+    if jsonl is None:
+        raise ReproError(
+            f"no trace named {args.name!r} under {args.cache / 'obs'}; "
+            "run 'cosmicdance analyze --trace --cache ...' first"
+        )
+    print(render_trace_report(parse_events(jsonl)))
     return 0
 
 
@@ -403,6 +465,20 @@ def build_parser() -> argparse.ArgumentParser:
     triggers.add_argument("--threshold", type=float, default=None)
     triggers.add_argument("--min-gap-hours", type=float, default=24.0)
     triggers.set_defaults(func=cmd_triggers)
+
+    trace_report = subparsers.add_parser(
+        "trace-report",
+        help="render the span tree of a persisted --trace run",
+    )
+    trace_report.add_argument(
+        "--cache", type=pathlib.Path, required=True,
+        help="DataStore directory holding obs/<name>.jsonl",
+    )
+    trace_report.add_argument(
+        "--name", default="trace",
+        help="trace artifact name (default: trace)",
+    )
+    trace_report.set_defaults(func=cmd_trace_report)
 
     return parser
 

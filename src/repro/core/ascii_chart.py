@@ -77,6 +77,43 @@ def render_line_chart(
     return "\n".join(lines)
 
 
+def render_bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    *,
+    title: str = "",
+    width: int = 72,
+    unit: str = "",
+) -> str:
+    """Render labelled values as horizontal bars.
+
+    Used by the ``trace-report`` CLI view for per-stage time totals;
+    bars scale to the largest value, labels right-align in their own
+    column, and each row prints its numeric value after the bar.
+    """
+    if len(labels) != len(values):
+        raise ReproError("labels and values must be the same length")
+    lines = [title] if title else []
+    if not labels:
+        lines.append("(no data)")
+        return "\n".join(lines)
+    label_width = max(len(str(label)) for label in labels)
+    numbers = [f"{float(v):.3f}{unit}" for v in values]
+    number_width = max(len(n) for n in numbers)
+    bar_width = max(1, width - label_width - number_width - 4)
+    peak = max((float(v) for v in values), default=0.0)
+    for label, value, number in zip(labels, values, numbers):
+        if peak > 0 and float(value) > 0:
+            length = max(1, int(round(float(value) / peak * bar_width)))
+        else:
+            length = 0
+        lines.append(
+            f"{str(label):>{label_width}} |{'#' * length:<{bar_width}} "
+            f"{number:>{number_width}}"
+        )
+    return "\n".join(lines)
+
+
 def render_cdf_chart(
     cdf: CDF,
     *,

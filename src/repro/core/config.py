@@ -64,6 +64,11 @@ class CosmicDanceConfig:
     #: digest) so re-runs after incremental ingest only recompute dirty
     #: satellites.
     cache_stages: bool = True
+    #: Record a span tree (run → stage → satellite) plus run metrics
+    #: through :mod:`repro.obs`.  Off by default: the null tracer makes
+    #: every instrumentation point a no-op and no ``obs/`` I/O happens
+    #: (see ``docs/OBSERVABILITY.md``).
+    trace: bool = False
 
     def __post_init__(self) -> None:
         if self.max_valid_altitude_km <= self.min_valid_altitude_km:

@@ -66,6 +66,7 @@ from repro.core.relations import (
 from repro.core.windows import AltitudeChangeCurves, post_event_curves
 from repro.errors import PipelineError
 from repro.exec import (
+    SATELLITE_SPAN,
     Executor,
     SatelliteOutcome,
     SatelliteTask,
@@ -74,11 +75,13 @@ from repro.exec import (
     default_executor,
     history_digest,
 )
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry, NullMetrics
+from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
 from repro.robustness.health import QuarantineLedger, RunHealth, StageHealth
 from repro.spaceweather.dst import DstIndex
 from repro.spaceweather.storms import StormEpisode, detect_episodes
 from repro.time import Epoch
-from repro.tle.catalog import SatelliteHistory
+from repro.tle.catalog import SatelliteCatalog, SatelliteHistory
 
 if TYPE_CHECKING:
     from repro.core.attribution import StormImpact
@@ -207,7 +210,11 @@ class CosmicDance:
     ``executor`` overrides the one implied by ``config.workers``;
     ``memo`` overrides the per-instance stage cache (pass a shared
     :class:`~repro.exec.StageMemo` to pool memoization across
-    pipelines, or rely on ``config.cache_stages`` for the default).
+    pipelines, or rely on ``config.cache_stages`` for the default);
+    ``tracer`` overrides the one implied by ``config.trace`` (pass a
+    live :class:`~repro.obs.Tracer` to capture spans across several
+    runs, or rely on the flag — off means the null tracer and zero
+    observability overhead).
     """
 
     def __init__(
@@ -216,6 +223,7 @@ class CosmicDance:
         *,
         executor: Executor | None = None,
         memo: StageMemo | None = None,
+        tracer: "Tracer | NullTracer | None" = None,
     ) -> None:
         self.config = config or CosmicDanceConfig()
         self.ingest = IngestState()
@@ -224,6 +232,15 @@ class CosmicDance:
             self.memo: StageMemo | None = memo
         else:
             self.memo = StageMemo() if self.config.cache_stages else None
+        if tracer is not None:
+            self.tracer = tracer
+        else:
+            self.tracer = Tracer() if self.config.trace else NULL_TRACER
+        self.metrics: MetricsRegistry | NullMetrics = (
+            MetricsRegistry() if self.tracer.enabled else NULL_METRICS
+        )
+        if self.tracer.enabled and self.memo is not None and self.memo.metrics is None:
+            self.memo.metrics = self.metrics
         self._result: PipelineResult | None = None
 
     @property
@@ -246,63 +263,101 @@ class CosmicDance:
         # Folding a *snapshot* (not the live ledger) keeps repeated
         # run() calls from double-counting earlier runs' entries.
         run_ledger = QuarantineLedger(self.ingest.ledger.snapshot())
+        with self.tracer.span(
+            "run", satellites=len(catalog), executor=self.executor.name
+        ):
+            return self._run_stages(catalog, dst, run_ledger)
 
+    def _run_stages(
+        self,
+        catalog: "SatelliteCatalog",
+        dst: DstIndex,
+        run_ledger: QuarantineLedger,
+    ) -> PipelineResult:
+        """One run's stage sequence (fleet → storms → associate), inside
+        the caller's open ``run`` span."""
         # Fleet stage: clean → detect → assess, one isolated unit per
         # satellite, through the pluggable executor.  One history
         # tripping an exception must not abort the fleet: failures
         # quarantine the satellite (or, with config.strict, re-raise).
-        fleet_started = time.perf_counter()
-        tasks = [satellite_task(history) for history in catalog]
-        cfg_digest = config_digest(self.config)
-        cached: dict[int, SatelliteOutcome] = {}
-        dirty: list[SatelliteTask] = []
-        if self.memo is not None:
-            for task in tasks:
-                hit = self.memo.get(task.digest, cfg_digest)
-                if hit is not None:
-                    cached[task.catalog_number] = hit
-                else:
-                    dirty.append(task)
-            cache_hits, cache_misses = len(cached), len(dirty)
-        else:
-            dirty = list(tasks)
-            cache_hits = cache_misses = 0
-        computed = {
-            outcome.catalog_number: outcome
-            for outcome in self.executor.run_fleet(
-                process_satellite, dirty, self.config
-            )
-        }
+        with self.tracer.span("stage:fleet") as fleet_span:
+            fleet_started = time.perf_counter()
+            tasks = [satellite_task(history) for history in catalog]
+            cfg_digest = config_digest(self.config)
+            cached: dict[int, SatelliteOutcome] = {}
+            dirty: list[SatelliteTask] = []
+            if self.memo is not None:
+                for task in tasks:
+                    hit = self.memo.get(task.digest, cfg_digest)
+                    if hit is not None:
+                        cached[task.catalog_number] = hit
+                        if self.tracer.enabled:
+                            # Cache hits never reach an executor, so the
+                            # pipeline spans them itself (duration ≈ the
+                            # memo lookup, which just happened — record
+                            # an instantaneous marker span).
+                            with self.tracer.span(SATELLITE_SPAN) as hit_span:
+                                hit_span.set(
+                                    catalog_number=task.catalog_number,
+                                    records=task.record_count,
+                                    cache="hit",
+                                )
+                    else:
+                        dirty.append(task)
+                cache_hits, cache_misses = len(cached), len(dirty)
+            else:
+                dirty = list(tasks)
+                cache_hits = cache_misses = 0
+            if self.tracer.enabled:
+                fleet_outcomes = self.executor.run_fleet(
+                    process_satellite, dirty, self.config, tracer=self.tracer
+                )
+            else:
+                # Never forward the tracer kwarg on the untraced path:
+                # minimal Executor stand-ins (tests, user plugins) may
+                # predate the keyword.
+                fleet_outcomes = self.executor.run_fleet(
+                    process_satellite, dirty, self.config
+                )
+            computed = {
+                outcome.catalog_number: outcome for outcome in fleet_outcomes
+            }
 
-        events: list[TrajectoryEvent] = []
-        assessments: dict[int, DecayAssessment] = {}
-        cleaned: dict[int, CleanedHistory] = {}
-        report = CleaningReport(0, 0, 0, 0)
-        quarantined = 0
-        for task in tasks:
-            outcome = cached.get(task.catalog_number) or computed[task.catalog_number]
-            if outcome.report is not None:
-                report = report + outcome.report
-            if outcome.error is not None:
-                quarantined += 1
-                run_ledger.quarantine_satellite(
-                    task.catalog_number,
-                    outcome.error_stage or "detect",
-                    outcome.error,
-                )
-                logger.warning(
-                    "quarantined satellite %d in %s: %s",
-                    task.catalog_number, outcome.error_stage, outcome.error,
-                )
-                continue
-            if self.memo is not None and not outcome.from_cache:
-                self.memo.put(task.digest, cfg_digest, outcome)
-            if outcome.cleaned is None:
-                continue
-            cleaned[task.catalog_number] = outcome.cleaned
-            events.extend(outcome.events)
-            assessments[task.catalog_number] = outcome.assessment
-        fleet_elapsed = time.perf_counter() - fleet_started
+            events: list[TrajectoryEvent] = []
+            assessments: dict[int, DecayAssessment] = {}
+            cleaned: dict[int, CleanedHistory] = {}
+            report = CleaningReport(0, 0, 0, 0)
+            quarantined = 0
+            for task in tasks:
+                outcome = cached.get(task.catalog_number) or computed[task.catalog_number]
+                if outcome.report is not None:
+                    report = report + outcome.report
+                if outcome.error is not None:
+                    quarantined += 1
+                    run_ledger.quarantine_satellite(
+                        task.catalog_number,
+                        outcome.error_stage or "detect",
+                        outcome.error,
+                    )
+                    logger.warning(
+                        "quarantined satellite %d in %s: %s",
+                        task.catalog_number, outcome.error_stage, outcome.error,
+                    )
+                    continue
+                if self.memo is not None and not outcome.from_cache:
+                    self.memo.put(task.digest, cfg_digest, outcome)
+                if outcome.cleaned is None:
+                    continue
+                cleaned[task.catalog_number] = outcome.cleaned
+                events.extend(outcome.events)
+                assessments[task.catalog_number] = outcome.assessment
+            fleet_elapsed = time.perf_counter() - fleet_started
+            fleet_span.set(
+                attempted=len(tasks),
+                quarantined=quarantined,
+                cache_hits=cache_hits,
+                cache_misses=cache_misses,
+            )
         logger.info(
             "cleaning: kept %d/%d records (%d gross errors, %d orbit-raising)",
             report.kept, report.total_records,
@@ -319,21 +374,37 @@ class CosmicDance:
                 cache_hits, cache_misses,
             )
 
-        storms_started = time.perf_counter()
-        threshold = dst.intensity_percentile(self.config.event_percentile)
-        episodes = detect_episodes(dst, threshold)
-        storms_elapsed = time.perf_counter() - storms_started
+        with self.tracer.span("stage:storms") as storms_span:
+            storms_started = time.perf_counter()
+            threshold = dst.intensity_percentile(self.config.event_percentile)
+            episodes = detect_episodes(dst, threshold)
+            storms_elapsed = time.perf_counter() - storms_started
+            storms_span.set(
+                episodes=len(episodes), threshold_nt=round(threshold, 3)
+            )
         logger.info(
             "storms: %d episodes at/below %.1f nT", len(episodes), threshold
         )
 
-        associate_started = time.perf_counter()
-        associations = associate(episodes, events, self.config)
-        associate_elapsed = time.perf_counter() - associate_started
+        with self.tracer.span("stage:associate") as associate_span:
+            associate_started = time.perf_counter()
+            associations = associate(episodes, events, self.config)
+            associate_elapsed = time.perf_counter() - associate_started
+            associate_span.set(
+                events=len(events), associations=len(associations)
+            )
         logger.info(
             "relations: %d trajectory events, %d happen closely after storms",
             len(events), len(associations),
         )
+        metrics = self.metrics
+        metrics.counter("fleet.satellites").inc(len(tasks))
+        metrics.counter("fleet.quarantined").inc(quarantined)
+        metrics.counter("fleet.cache_hits").inc(cache_hits)
+        metrics.counter("fleet.cache_misses").inc(cache_misses)
+        metrics.gauge("stage.fleet.elapsed_s").set(fleet_elapsed)
+        metrics.gauge("stage.storms.elapsed_s").set(storms_elapsed)
+        metrics.gauge("stage.associate.elapsed_s").set(associate_elapsed)
         decayed = [
             a for a in assessments.values()
             if a.state is DecayState.PERMANENT_DECAY
@@ -371,6 +442,7 @@ class CosmicDance:
             ledger=run_ledger,
             cache_hits=cache_hits,
             cache_misses=cache_misses,
+            metrics=self.metrics.snapshot(),
         )
         self._result = PipelineResult(
             config=self.config,

@@ -20,11 +20,13 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from repro.exec.base import (
+    SATELLITE_SPAN,
     Executor,
     SatelliteOutcome,
     SatelliteTask,
     StageFn,
     failure_outcome,
+    outcome_span_attrs,
 )
 from repro.exec.chunking import balanced_chunks
 from repro.exec.digests import (
@@ -32,6 +34,7 @@ from repro.exec.digests import (
     cache_key,
     config_digest,
     history_digest,
+    result_digest,
 )
 from repro.exec.memo import StageMemo
 from repro.exec.parallel import ParallelExecutor
@@ -44,6 +47,7 @@ __all__ = [
     "EXECUTION_FIELDS",
     "Executor",
     "ParallelExecutor",
+    "SATELLITE_SPAN",
     "SatelliteOutcome",
     "SatelliteTask",
     "SerialExecutor",
@@ -55,6 +59,8 @@ __all__ = [
     "default_executor",
     "failure_outcome",
     "history_digest",
+    "outcome_span_attrs",
+    "result_digest",
 ]
 
 

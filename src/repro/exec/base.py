@@ -17,13 +17,14 @@ outcomes carry failures as *strings*, never live exception objects.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, Protocol, Sequence, runtime_checkable
+from typing import TYPE_CHECKING, Any, Callable, Protocol, Sequence, runtime_checkable
 
 if TYPE_CHECKING:
     from repro.core.cleaning import CleanedHistory, CleaningReport
     from repro.core.config import CosmicDanceConfig
     from repro.core.decay import DecayAssessment
     from repro.core.relations import TrajectoryEvent
+    from repro.obs.tracer import Tracer
     from repro.tle.elements import MeanElements
 
 
@@ -97,6 +98,12 @@ class Executor(Protocol):
     regardless of completion order, and must honor ``config.strict``:
     strict runs re-raise the first stage failure, lenient runs capture
     every failure in its outcome.
+
+    ``tracer`` is the optional observability hook (see ``repro.obs``):
+    when given an *enabled* tracer, implementations record one
+    ``satellite`` span per executed task with the attribute schema of
+    :func:`outcome_span_attrs`.  ``None`` (the default) and disabled
+    tracers must cost nothing.
     """
 
     #: Short human-readable name (``serial``, ``parallel``), used in
@@ -108,7 +115,36 @@ class Executor(Protocol):
         stage: StageFn,
         tasks: Sequence[SatelliteTask],
         config: "CosmicDanceConfig",
+        *,
+        tracer: "Tracer | None" = None,
     ) -> list[SatelliteOutcome]: ...
+
+
+#: Span name every executor uses for one per-satellite stage unit.
+SATELLITE_SPAN = "satellite"
+
+
+def outcome_span_attrs(
+    task: SatelliteTask, outcome: SatelliteOutcome
+) -> dict[str, Any]:
+    """The canonical span attributes for one executed satellite.
+
+    Shared by every executor (and the worker-side chunk runner) so the
+    trace schema is identical whether the stage ran in-process or in a
+    pool worker: catalog number, record count, ``cache="miss"`` (cache
+    hits never reach an executor; the pipeline spans those itself),
+    and — on failure — the quarantine stage and reason.
+    """
+    attrs: dict[str, Any] = {
+        "catalog_number": task.catalog_number,
+        "records": task.record_count,
+        "cache": "miss",
+    }
+    if outcome.error is not None:
+        attrs["quarantined"] = True
+        attrs["error_stage"] = outcome.error_stage
+        attrs["reason"] = outcome.error
+    return attrs
 
 
 def failure_outcome(

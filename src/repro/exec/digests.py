@@ -16,14 +16,20 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import fields
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable
 
 from repro.core.config import CosmicDanceConfig
 from repro.tle.elements import MeanElements
 
+if TYPE_CHECKING:
+    from repro.core.pipeline import PipelineResult
+
 #: Config fields that select *how* the pipeline runs, not *what* it
-#: computes — excluded from the config digest.
-EXECUTION_FIELDS: frozenset[str] = frozenset({"strict", "workers", "cache_stages"})
+#: computes — excluded from the config digest.  ``trace`` belongs here:
+#: observability must never invalidate a cache.
+EXECUTION_FIELDS: frozenset[str] = frozenset(
+    {"strict", "workers", "cache_stages", "trace"}
+)
 
 
 def history_digest(elements: Iterable[MeanElements]) -> str:
@@ -49,6 +55,33 @@ def config_digest(config: CosmicDanceConfig) -> str:
         if field.name not in EXECUTION_FIELDS
     ]
     return hashlib.sha256(";".join(parts).encode("utf-8")).hexdigest()
+
+
+def result_digest(result: "PipelineResult") -> str:
+    """SHA-256 over everything scientifically meaningful in one
+    :class:`~repro.core.pipeline.PipelineResult`.
+
+    Two runs over the same inputs must share a digest regardless of
+    executor (serial vs pool) or cache temperature (cold vs warm) —
+    the seed-determinism property the parity suite pins.  Execution
+    bookkeeping (stage timings, cache hit/miss counts, metrics) is
+    deliberately excluded; the quarantine ledger text is included
+    because degradation *is* part of the result.
+    """
+    digest = hashlib.sha256()
+    for part in (
+        repr(result.storm_episodes),
+        repr(result.trajectory_events),
+        repr(result.associations),
+        repr(sorted(result.decay_assessments.items())),
+        repr(sorted(result.cleaned.items())),
+        repr(result.cleaning_report),
+        repr(result.event_threshold_nt),
+        result.health.ledger_text(),
+    ):
+        digest.update(part.encode("utf-8"))
+        digest.update(b"\x00")
+    return digest.hexdigest()
 
 
 def cache_key(history_digest_hex: str, config_digest_hex: str) -> str:

@@ -33,6 +33,7 @@ from repro.exec.digests import cache_key
 
 if TYPE_CHECKING:
     from repro.io.store import DataStore
+    from repro.obs.metrics import MetricsRegistry
 
 
 class StageMemo:
@@ -47,6 +48,11 @@ class StageMemo:
         #: :class:`~repro.robustness.health.RunHealth`).
         self.hits = 0
         self.misses = 0
+        #: Optional observability registry; assignable after
+        #: construction (the pipeline attaches its run registry when
+        #: tracing).  Counters: ``memo.hits`` / ``memo.misses`` /
+        #: ``memo.persistent_hits`` / ``memo.puts``.
+        self.metrics: "MetricsRegistry | None" = None
 
     def __len__(self) -> int:
         return len(self._memory)
@@ -63,10 +69,16 @@ class StageMemo:
         outcome = self._memory.get(key)
         if outcome is None and self.store is not None:
             outcome = self._load_persistent(key)
+            if outcome is not None and self.metrics is not None:
+                self.metrics.counter("memo.persistent_hits").inc()
         if outcome is None:
             self.misses += 1
+            if self.metrics is not None:
+                self.metrics.counter("memo.misses").inc()
             return None
         self.hits += 1
+        if self.metrics is not None:
+            self.metrics.counter("memo.hits").inc()
         return replace(outcome, from_cache=True)
 
     def put(
@@ -78,6 +90,8 @@ class StageMemo:
         key = (history_digest, config_digest)
         outcome = replace(outcome, from_cache=False)
         self._memory[key] = outcome
+        if self.metrics is not None:
+            self.metrics.counter("memo.puts").inc()
         if self.store is not None:
             self.store.save_stage_outcome(cache_key(*key), encode_outcome(outcome))
 

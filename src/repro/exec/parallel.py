@@ -23,15 +23,25 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from typing import TYPE_CHECKING, Sequence
 
 from repro.errors import ExecutionError
-from repro.exec.base import SatelliteOutcome, SatelliteTask, StageFn, failure_outcome
+from repro.exec.base import (
+    SATELLITE_SPAN,
+    SatelliteOutcome,
+    SatelliteTask,
+    StageFn,
+    failure_outcome,
+    outcome_span_attrs,
+)
 from repro.exec.chunking import balanced_chunks
+from repro.exec.codec import decode_spans, encode_spans
 
 if TYPE_CHECKING:
     from repro.core.config import CosmicDanceConfig
+    from repro.obs.tracer import Tracer
 
 
 def run_chunk(
@@ -46,6 +56,37 @@ def run_chunk(
     """
     capture = not config.strict
     return [stage(task, config, capture=capture) for task in tasks]
+
+
+def run_chunk_traced(
+    stage: StageFn, tasks: Sequence[SatelliteTask], config: "CosmicDanceConfig"
+) -> tuple[list[SatelliteOutcome], str]:
+    """Like :func:`run_chunk`, but also records one span payload per
+    task and ships them back encoded (:func:`~repro.exec.codec.
+    encode_spans`) for the parent tracer to adopt.
+
+    Offsets are relative to the chunk's own start — the parent anchors
+    them under its open fleet span, so placement is approximate across
+    the process boundary but durations and attributes are exact.
+    """
+    capture = not config.strict
+    outcomes: list[SatelliteOutcome] = []
+    payloads: list[dict] = []
+    chunk_start = time.perf_counter()
+    for task in tasks:
+        started = time.perf_counter()
+        outcome = stage(task, config, capture=capture)
+        elapsed = time.perf_counter() - started
+        outcomes.append(outcome)
+        payloads.append(
+            {
+                "name": SATELLITE_SPAN,
+                "start_offset_s": started - chunk_start,
+                "elapsed_s": elapsed,
+                "attrs": outcome_span_attrs(task, outcome),
+            }
+        )
+    return outcomes, encode_spans(payloads)
 
 
 class ParallelExecutor:
@@ -83,9 +124,12 @@ class ParallelExecutor:
         stage: StageFn,
         tasks: Sequence[SatelliteTask],
         config: "CosmicDanceConfig",
+        *,
+        tracer: "Tracer | None" = None,
     ) -> list[SatelliteOutcome]:
         if not tasks:
             return []
+        traced = tracer is not None and tracer.enabled
         chunks = balanced_chunks(tasks, self.workers * self.chunks_per_worker)
         context = (
             multiprocessing.get_context(self.mp_context) if self.mp_context else None
@@ -94,12 +138,13 @@ class ParallelExecutor:
         with ProcessPoolExecutor(
             max_workers=min(self.workers, len(chunks)), mp_context=context
         ) as pool:
+            runner = run_chunk_traced if traced else run_chunk
             futures = [
-                pool.submit(run_chunk, stage, chunk, config) for chunk in chunks
+                pool.submit(runner, stage, chunk, config) for chunk in chunks
             ]
             for future, chunk in zip(futures, chunks):
                 try:
-                    outcomes = future.result()
+                    result = future.result()
                 except Exception as exc:
                     # Stage exceptions only reach here in strict mode
                     # (the chunk runner captures them otherwise); what's
@@ -107,10 +152,17 @@ class ParallelExecutor:
                     if config.strict:
                         raise
                     for task in chunk:
-                        by_number[task.catalog_number] = failure_outcome(
-                            task, "executor", exc
-                        )
+                        outcome = failure_outcome(task, "executor", exc)
+                        by_number[task.catalog_number] = outcome
+                        if traced:
+                            with tracer.span(SATELLITE_SPAN) as span:
+                                span.set(**outcome_span_attrs(task, outcome))
                 else:
+                    if traced:
+                        outcomes, span_text = result
+                        tracer.adopt(decode_spans(span_text))
+                    else:
+                        outcomes = result
                     for outcome in outcomes:
                         by_number[outcome.catalog_number] = outcome
         # Deterministic result ordering: task order, never completion order.

@@ -12,10 +12,17 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Sequence
 
-from repro.exec.base import SatelliteOutcome, SatelliteTask, StageFn
+from repro.exec.base import (
+    SATELLITE_SPAN,
+    SatelliteOutcome,
+    SatelliteTask,
+    StageFn,
+    outcome_span_attrs,
+)
 
 if TYPE_CHECKING:
     from repro.core.config import CosmicDanceConfig
+    from repro.obs.tracer import Tracer
 
 
 class SerialExecutor:
@@ -28,9 +35,19 @@ class SerialExecutor:
         stage: StageFn,
         tasks: Sequence[SatelliteTask],
         config: "CosmicDanceConfig",
+        *,
+        tracer: "Tracer | None" = None,
     ) -> list[SatelliteOutcome]:
         capture = not config.strict
-        return [stage(task, config, capture=capture) for task in tasks]
+        if tracer is None or not tracer.enabled:
+            return [stage(task, config, capture=capture) for task in tasks]
+        outcomes: list[SatelliteOutcome] = []
+        for task in tasks:
+            with tracer.span(SATELLITE_SPAN) as span:
+                outcome = stage(task, config, capture=capture)
+                span.set(**outcome_span_attrs(task, outcome))
+            outcomes.append(outcome)
+        return outcomes
 
     def __repr__(self) -> str:
         return "SerialExecutor()"

@@ -6,6 +6,8 @@ Directory layout::
       dst.csv                 hourly Dst cache
       catalog_numbers.txt     one catalog number per line
       tles/<catalog>.tle      per-satellite TLE history (2LE text)
+      stage_cache/            memoized per-satellite stage outcomes
+      obs/<name>.jsonl        persisted observability traces
       quarantine/             corrupt files moved aside in salvage mode
 
 `save_*` methods overwrite atomically and durably (unique temp file in
@@ -139,6 +141,10 @@ class DataStore:
     @property
     def _stage_cache_dir(self) -> pathlib.Path:
         return self.root / "stage_cache"
+
+    @property
+    def _obs_dir(self) -> pathlib.Path:
+        return self.root / "obs"
 
     # --- Dst -------------------------------------------------------------
     def save_dst(self, dst: DstIndex) -> None:
@@ -323,6 +329,43 @@ class DataStore:
         path = self._stage_cache_dir / f"{key}.json"
         self.ledger.quarantine_artifact(path.name, STORAGE_STAGE, reason)
         self._quarantine_file(path)
+
+    # --- observability traces (see repro.obs) -------------------------------
+    def save_trace(self, payload: str, *, name: str = "trace") -> None:
+        """Persist one JSONL trace document under ``obs/<name>.jsonl``.
+
+        Same atomic/durable write discipline as every other artifact;
+        the directory is only ever created on an actual save, so a run
+        with tracing disabled performs no ``obs/`` I/O at all.
+        """
+        self._obs_dir.mkdir(exist_ok=True)
+        self._atomic_write(self._obs_dir / f"{name}.jsonl", payload)
+
+    def load_trace(self, *, name: str = "trace") -> str | None:
+        """Load one persisted trace, or None when absent.
+
+        Traces are disposable observability artifacts: an unreadable
+        file is ledgered and treated as absent, never raised.
+        """
+        path = self._obs_dir / f"{name}.jsonl"
+        if not path.exists():
+            return None
+        try:
+            return self._call(self._read_text, path)
+        except OSError as exc:
+            self.ledger.quarantine_artifact(
+                path.name,
+                STORAGE_STAGE,
+                f"unreadable trace ({type(exc).__name__})",
+            )
+            self._quarantine_file(path)
+            return None
+
+    def list_traces(self) -> list[str]:
+        """Names of every persisted trace (without the ``.jsonl``)."""
+        if not self._obs_dir.is_dir():
+            return []
+        return sorted(p.stem for p in self._obs_dir.glob("*.jsonl"))
 
     def load_catalog(self) -> SatelliteCatalog | None:
         """Load the whole cached catalog, or None when nothing is cached.

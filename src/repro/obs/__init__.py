@@ -1,0 +1,49 @@
+"""``repro.obs`` — the zero-dependency observability subsystem.
+
+Three pieces, all optional and all free when disabled:
+
+* :class:`Tracer` — nested wall-clock spans (run → stage → satellite)
+  with attributes (cache hit/miss, quarantine reason, retry counts).
+  :data:`NULL_TRACER` is the disabled stand-in: every call is a no-op,
+  no span is recorded, no I/O ever happens.
+* :class:`MetricsRegistry` — named counters/gauges/histograms whose
+  :meth:`~MetricsRegistry.snapshot` folds into
+  :class:`~repro.robustness.health.RunHealth`.  :data:`NULL_METRICS`
+  is the disabled stand-in.
+* the JSONL event sink (:func:`events_jsonl`, :func:`write_trace`) —
+  serializes one traced run as a line-per-event JSONL document and
+  persists it through :class:`~repro.io.store.DataStore` (the ``obs/``
+  directory, written atomically like every other store artifact).
+
+Enable tracing with ``CosmicDanceConfig(trace=True)`` (CLI:
+``--trace``); render a persisted trace with ``cosmicdance
+trace-report --cache DIR``.  See ``docs/OBSERVABILITY.md``.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import (
+    NULL_METRICS,
+    MetricSample,
+    MetricsRegistry,
+    NullMetrics,
+)
+from repro.obs.report import parse_events, render_trace_report
+from repro.obs.sink import TRACE_NAME, events_jsonl, write_trace
+from repro.obs.tracer import NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "MetricSample",
+    "MetricsRegistry",
+    "NULL_METRICS",
+    "NULL_TRACER",
+    "NullMetrics",
+    "NullTracer",
+    "Span",
+    "TRACE_NAME",
+    "Tracer",
+    "events_jsonl",
+    "parse_events",
+    "render_trace_report",
+    "write_trace",
+]

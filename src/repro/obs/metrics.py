@@ -1,0 +1,215 @@
+"""Counters, gauges, and histograms for one pipeline run.
+
+A :class:`MetricsRegistry` creates instruments on demand by name
+(dotted, e.g. ``fleet.cache_hits``) and snapshots them as immutable
+:class:`MetricSample` rows — the form :class:`~repro.robustness.health.
+RunHealth` folds into each :class:`~repro.core.pipeline.PipelineResult`
+and the JSONL sink persists.
+
+:data:`NULL_METRICS` is the disabled registry: instruments are shared
+no-op singletons, ``snapshot()`` is empty, and nothing allocates per
+call — the same always-on calling convention as the null tracer.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricSample",
+    "MetricsRegistry",
+    "NULL_METRICS",
+    "NullMetrics",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class MetricSample:
+    """One instrument's state at snapshot time."""
+
+    name: str
+    #: ``counter`` / ``gauge`` / ``histogram``.
+    kind: str
+    #: Counter total, gauge value, or histogram sum.
+    value: float
+    #: Observation count (counters: increments; histograms: samples).
+    count: int = 0
+    #: Histogram extrema (NaN when empty or not a histogram).
+    min: float = math.nan
+    max: float = math.nan
+
+    def to_event(self) -> dict[str, Any]:
+        """The sample's JSONL event payload."""
+        payload: dict[str, Any] = {
+            "type": "metric",
+            "name": self.name,
+            "kind": self.kind,
+            "value": self.value,
+            "count": self.count,
+        }
+        if not math.isnan(self.min):
+            payload["min"] = self.min
+            payload["max"] = self.max
+        return payload
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value", "count")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+        self.count = 0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease by {amount}")
+        self.value += amount
+        self.count += 1
+
+    def sample(self) -> MetricSample:
+        return MetricSample(self.name, "counter", self.value, self.count)
+
+
+class Gauge:
+    """A last-write-wins level."""
+
+    __slots__ = ("name", "value", "count")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+        self.count = 0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+        self.count += 1
+
+    def sample(self) -> MetricSample:
+        return MetricSample(self.name, "gauge", self.value, self.count)
+
+
+class Histogram:
+    """Streaming summary of observed values (count/sum/min/max/mean)."""
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = math.nan
+        self.max = math.nan
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self.min = value if math.isnan(self.min) else min(self.min, value)
+        self.max = value if math.isnan(self.max) else max(self.max, value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else math.nan
+
+    def sample(self) -> MetricSample:
+        return MetricSample(
+            self.name, "histogram", self.total, self.count, self.min, self.max
+        )
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get(self, name: str, cls):
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = self._instruments[name] = cls(name)
+        elif not isinstance(instrument, cls):
+            raise ValueError(
+                f"metric {name!r} already registered as "
+                f"{type(instrument).__name__}, not {cls.__name__}"
+            )
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def snapshot(self) -> tuple[MetricSample, ...]:
+        """Every instrument's sample, sorted by name (deterministic)."""
+        return tuple(
+            self._instruments[name].sample()
+            for name in sorted(self._instruments)
+        )
+
+    def events(self) -> Iterator[dict[str, Any]]:
+        """The snapshot as JSONL-ready event dicts."""
+        for sample in self.snapshot():
+            yield sample.to_event()
+
+
+class _NullInstrument:
+    """Shared no-op counter/gauge/histogram."""
+
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullMetrics:
+    """The disabled registry: hands out shared no-op instruments."""
+
+    enabled = False
+
+    def counter(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def __len__(self) -> int:
+        return 0
+
+    def snapshot(self) -> tuple[MetricSample, ...]:
+        return ()
+
+    def events(self) -> Iterator[dict[str, Any]]:
+        return iter(())
+
+
+#: The shared disabled registry.
+NULL_METRICS = NullMetrics()

@@ -1,0 +1,145 @@
+"""Render a persisted trace back into an operator-readable report.
+
+The ``cosmicdance trace-report`` CLI view parses the JSONL event sink
+(:mod:`repro.obs.sink`), rebuilds the span tree, and prints:
+
+* the tree itself — run → stage → satellite, with durations and the
+  attributes that explain each node (cache hit/miss, quarantine
+  reason, retry counts);
+* per-stage wall-clock totals as an ASCII bar chart
+  (:func:`repro.core.ascii_chart.render_bar_chart`);
+* the metric snapshot, one line per instrument.
+
+Satellite-level children are summarized beyond a cap so a 10k-bird
+fleet doesn't print 10k lines; the slowest satellites are kept.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.core.ascii_chart import render_bar_chart
+from repro.errors import ReproError
+
+__all__ = ["parse_events", "render_trace_report"]
+
+#: Child spans shown per parent before summarizing the rest.
+MAX_CHILDREN = 12
+
+
+def parse_events(jsonl: str) -> list[dict[str, Any]]:
+    """Parse a JSONL event document; raises :class:`ReproError` on a
+    line that is not a JSON object."""
+    events: list[dict[str, Any]] = []
+    for lineno, line in enumerate(jsonl.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ReproError(f"corrupt trace line {lineno}: {exc}") from exc
+        if not isinstance(event, dict) or "type" not in event:
+            raise ReproError(f"trace line {lineno} is not an event object")
+        events.append(event)
+    return events
+
+
+def _attr_text(attrs: dict[str, Any]) -> str:
+    if not attrs:
+        return ""
+    parts = [f"{key}={attrs[key]}" for key in sorted(attrs)]
+    return "  [" + " ".join(parts) + "]"
+
+
+def _span_line(span: dict[str, Any], depth: int) -> str:
+    elapsed = span.get("elapsed_s")
+    elapsed_text = f"{elapsed:9.4f} s" if elapsed is not None else "   (open) "
+    return (
+        f"{'  ' * depth}{span.get('name', 'span')}  {elapsed_text}"
+        f"{_attr_text(span.get('attrs', {}))}"
+    )
+
+
+def render_trace_report(events: list[dict[str, Any]], *, width: int = 72) -> str:
+    """Render parsed trace events as the full text report."""
+    spans = [e for e in events if e.get("type") == "span"]
+    metrics = [e for e in events if e.get("type") == "metric"]
+    if not spans:
+        return "trace: no spans recorded"
+
+    children: dict[Any, list[dict[str, Any]]] = {}
+    roots: list[dict[str, Any]] = []
+    for span in spans:
+        parent = span.get("parent")
+        if parent is None:
+            roots.append(span)
+        else:
+            children.setdefault(parent, []).append(span)
+
+    lines: list[str] = ["Span tree"]
+
+    def walk(span: dict[str, Any], depth: int) -> None:
+        lines.append(_span_line(span, depth))
+        kids = children.get(span.get("id"), [])
+        if len(kids) > MAX_CHILDREN:
+            # Keep the slowest ones — the reason an operator is here.
+            shown = sorted(
+                kids, key=lambda s: -(s.get("elapsed_s") or 0.0)
+            )[:MAX_CHILDREN]
+            shown_ids = {id(s) for s in shown}
+            hidden = [s for s in kids if id(s) not in shown_ids]
+            for kid in shown:
+                walk(kid, depth + 1)
+            hidden_s = sum(s.get("elapsed_s") or 0.0 for s in hidden)
+            lines.append(
+                f"{'  ' * (depth + 1)}... and {len(hidden)} more "
+                f"({hidden_s:.4f} s total)"
+            )
+        else:
+            for kid in kids:
+                walk(kid, depth + 1)
+
+    for root in roots:
+        walk(root, 0)
+
+    # Per-stage totals: sum the durations of every span sharing a name
+    # at stage level (direct children of root spans).
+    stage_totals: dict[str, float] = {}
+    for root in roots:
+        for stage in children.get(root.get("id"), []):
+            name = str(stage.get("name", "span"))
+            stage_totals[name] = stage_totals.get(name, 0.0) + (
+                stage.get("elapsed_s") or 0.0
+            )
+    if stage_totals:
+        names = sorted(stage_totals, key=lambda n: -stage_totals[n])
+        lines.append("")
+        lines.append(
+            render_bar_chart(
+                names,
+                [stage_totals[n] for n in names],
+                title="Per-stage wall-clock totals",
+                width=width,
+                unit=" s",
+            )
+        )
+
+    if metrics:
+        lines.append("")
+        lines.append("Metrics")
+        for metric in metrics:
+            name = metric.get("name", "?")
+            kind = metric.get("kind", "?")
+            value = metric.get("value", 0.0)
+            detail = f"{value:g}"
+            if kind == "histogram" and metric.get("count"):
+                detail = (
+                    f"count={metric.get('count')} sum={value:g} "
+                    f"min={metric.get('min', float('nan')):g} "
+                    f"max={metric.get('max', float('nan')):g}"
+                )
+            lines.append(f"  {name} ({kind}): {detail}")
+
+    return "\n".join(lines)

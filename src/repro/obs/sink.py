@@ -1,0 +1,62 @@
+"""The JSONL event sink: one traced run as a line-per-event document.
+
+Span events come first (insertion order — parents before children),
+then the metric snapshot (sorted by name).  The document is plain
+JSONL so any log tooling can consume it; :func:`repro.obs.report.
+parse_events` and the ``cosmicdance trace-report`` CLI view read it
+back.
+
+Persistence goes through :class:`~repro.io.store.DataStore`
+(:meth:`~repro.io.store.DataStore.save_trace`): the ``obs/`` directory
+next to ``stage_cache/``, written atomically and durably like every
+other store artifact.  The store is deliberately duck-typed here so
+``repro.obs`` stays import-cycle-free (the store's health machinery
+imports ``repro.obs.metrics``).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING
+
+from repro.obs.metrics import MetricsRegistry, NullMetrics
+from repro.obs.tracer import NullTracer, Tracer
+
+if TYPE_CHECKING:
+    from repro.io.store import DataStore
+
+__all__ = ["TRACE_NAME", "events_jsonl", "write_trace"]
+
+#: Default trace artifact name: each traced run overwrites the last,
+#: so ``obs/trace.jsonl`` is always the most recent traced run.
+TRACE_NAME = "trace"
+
+
+def events_jsonl(
+    tracer: Tracer | NullTracer,
+    metrics: MetricsRegistry | NullMetrics | None = None,
+) -> str:
+    """Serialize a tracer (and optionally a metrics registry) to JSONL."""
+    lines = [json.dumps(event, sort_keys=True) for event in tracer.events()]
+    if metrics is not None:
+        lines.extend(json.dumps(event, sort_keys=True) for event in metrics.events())
+    return "".join(line + "\n" for line in lines)
+
+
+def write_trace(
+    store: "DataStore",
+    tracer: Tracer | NullTracer,
+    metrics: MetricsRegistry | NullMetrics | None = None,
+    *,
+    name: str = TRACE_NAME,
+) -> str | None:
+    """Persist one traced run to the store's ``obs/`` directory.
+
+    A disabled tracer writes nothing and returns None (the no-I/O
+    guarantee); an enabled one returns the artifact name
+    (``<name>.jsonl``).
+    """
+    if not tracer.enabled:
+        return None
+    store.save_trace(events_jsonl(tracer, metrics), name=name)
+    return f"{name}.jsonl"

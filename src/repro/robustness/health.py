@@ -17,7 +17,10 @@ absolute paths or timestamps; use file *names* and stable counts.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+if TYPE_CHECKING:
+    from repro.obs.metrics import MetricSample
 
 
 #: Entry kinds — a whole satellite was skipped vs. a single cache file
@@ -137,6 +140,9 @@ class RunHealth:
     #: from cache vs recomputed (both 0 when caching is off).
     cache_hits: int = 0
     cache_misses: int = 0
+    #: Top-level observability metrics for this run (empty unless the
+    #: pipeline ran with ``config.trace`` — see ``repro.obs``).
+    metrics: tuple["MetricSample", ...] = ()
 
     @classmethod
     def empty(cls) -> "RunHealth":
@@ -150,13 +156,22 @@ class RunHealth:
         *,
         cache_hits: int = 0,
         cache_misses: int = 0,
+        metrics: Iterable["MetricSample"] = (),
     ) -> "RunHealth":
         return cls(
             stages=tuple(stages),
             entries=ledger.snapshot(),
             cache_hits=cache_hits,
             cache_misses=cache_misses,
+            metrics=tuple(metrics),
         )
+
+    def metric(self, name: str) -> "MetricSample | None":
+        """Look up one folded metric sample by name, or None."""
+        for sample in self.metrics:
+            if sample.name == name:
+                return sample
+        return None
 
     @property
     def ok(self) -> bool:

@@ -33,11 +33,14 @@ from __future__ import annotations
 import functools
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterator, TypeVar
+from typing import TYPE_CHECKING, Any, Callable, Iterator, TypeVar
 
 import numpy as np
 
 from repro.errors import RobustnessError
+
+if TYPE_CHECKING:
+    from repro.obs.metrics import MetricsRegistry
 
 T = TypeVar("T")
 
@@ -46,7 +49,10 @@ class RetryAttempt:
     """One attempt in :meth:`RetryPolicy.attempts`; a context manager
     that swallows retryable exceptions on non-final attempts."""
 
-    __slots__ = ("number", "final", "error", "succeeded", "_delay", "_sleep", "_retry_on")
+    __slots__ = (
+        "number", "final", "error", "succeeded",
+        "_delay", "_sleep", "_retry_on", "_metrics",
+    )
 
     def __init__(
         self,
@@ -55,6 +61,7 @@ class RetryAttempt:
         delay: float,
         sleep: Callable[[float], None],
         retry_on: tuple[type[BaseException], ...],
+        metrics: "MetricsRegistry | None" = None,
     ) -> None:
         self.number = number
         self.final = final
@@ -63,6 +70,7 @@ class RetryAttempt:
         self._delay = delay
         self._sleep = sleep
         self._retry_on = retry_on
+        self._metrics = metrics
 
     def __enter__(self) -> "RetryAttempt":
         return self
@@ -72,8 +80,12 @@ class RetryAttempt:
             self.succeeded = True
             return False
         if self.final or not issubclass(exc_type, self._retry_on):
+            if self._metrics is not None and issubclass(exc_type, self._retry_on):
+                self._metrics.counter("retry.exhausted").inc()
             return False
         self.error = exc
+        if self._metrics is not None:
+            self._metrics.counter("retry.attempts").inc()
         if self._delay > 0:
             self._sleep(self._delay)
         return True
@@ -98,6 +110,11 @@ class RetryPolicy:
     retry_on: tuple[type[BaseException], ...] = (OSError,)
     #: Injectable sleep, so tests never actually wait.
     sleep: Callable[[float], None] = field(default=time.sleep, repr=False, compare=False)
+    #: Optional observability registry (see ``repro.obs``): each retry
+    #: increments ``retry.attempts``, each exhaustion
+    #: ``retry.exhausted``.  Excluded from equality/repr — attaching
+    #: metrics never changes retry semantics.
+    metrics: "MetricsRegistry | None" = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
@@ -132,6 +149,7 @@ class RetryPolicy:
                 delay=delays[number - 1] if number <= len(delays) else 0.0,
                 sleep=self.sleep,
                 retry_on=self.retry_on,
+                metrics=self.metrics,
             )
             yield attempt
             if attempt.succeeded:
@@ -146,7 +164,11 @@ class RetryPolicy:
                 return func(*args, **kwargs)
             except self.retry_on:
                 if number == self.max_attempts:
+                    if self.metrics is not None:
+                        self.metrics.counter("retry.exhausted").inc()
                     raise
+                if self.metrics is not None:
+                    self.metrics.counter("retry.attempts").inc()
                 delay = delays[number - 1]
                 if delay > 0:
                     self.sleep(delay)

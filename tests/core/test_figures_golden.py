@@ -1,0 +1,141 @@
+"""Golden-fixture regression tests for the figure builders.
+
+Each figure's data series, computed from the fixed-seed quickstart
+scenario, is serialized to canonical JSON and compared **exactly**
+against a checked-in fixture under ``tests/fixtures/golden/``.  Any
+numerical drift in cleaning, detection, storm statistics, or the CDF
+machinery shows up here as a one-line diff of the figure it changes.
+
+Regenerating after an intentional change (then review the diff!)::
+
+    REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/core/test_figures_golden.py
+
+See docs/TESTING.md for the workflow.
+"""
+
+import json
+import math
+import os
+import pathlib
+
+import numpy as np
+import pytest
+
+from repro import analyze
+from repro.core.figures import (
+    fig1_intensity_distribution,
+    fig2_storm_durations,
+    fig3_select_satellites,
+    fig5_intensity_influence,
+    fig6_duration_influence,
+)
+from repro.simulation.scenario import quickstart_scenario
+
+pytestmark = pytest.mark.golden
+
+GOLDEN_DIR = pathlib.Path(__file__).resolve().parents[1] / "fixtures" / "golden"
+SEED = 2
+
+
+@pytest.fixture(scope="module")
+def result():
+    scenario = quickstart_scenario(seed=SEED)
+    return analyze(scenario.dst, scenario.catalog)
+
+
+def _floats(values) -> list:
+    """JSON-able floats with exact repr round-trip (NaN → None: JSON has
+    no NaN, and NaN != NaN would break exact comparison anyway)."""
+    out = []
+    for value in np.asarray(values, dtype=float).tolist():
+        out.append(None if math.isnan(value) else value)
+    return out
+
+
+def _float(value: float):
+    return None if math.isnan(value) else float(value)
+
+
+def _cdf(cdf) -> dict:
+    return {"xs": _floats(cdf.xs), "ps": _floats(cdf.ps)}
+
+
+def fig1_payload(result) -> dict:
+    fig = fig1_intensity_distribution(result.dst)
+    return {
+        "cdf": _cdf(fig.cdf),
+        "percentiles": {f"{q:g}": _float(v) for q, v in fig.percentiles.items()},
+        "band_hours": {level.name: count for level, count in fig.band_hours.items()},
+    }
+
+
+def fig2_payload(result) -> dict:
+    return {
+        level.name: {
+            "count": stats.count,
+            "median_hours": _float(stats.median_hours),
+            "p95_hours": _float(stats.p95_hours),
+            "p99_hours": _float(stats.p99_hours),
+            "max_hours": _float(stats.max_hours),
+        }
+        for level, stats in fig2_storm_durations(result.dst).items()
+    }
+
+
+def fig3_payload(result) -> dict:
+    return {"selected": fig3_select_satellites(result, count=3)}
+
+
+def fig5_payload(result) -> dict:
+    fig = fig5_intensity_influence(result)
+    return {
+        "quiet_altitude_cdf": _cdf(fig.quiet_altitude_cdf),
+        "storm_altitude_cdf": _cdf(fig.storm_altitude_cdf),
+        "quiet_drag_cdf": _cdf(fig.quiet_drag_cdf),
+        "storm_drag_cdf": _cdf(fig.storm_drag_cdf),
+        "storm_event_count": fig.storm_event_count,
+        "quiet_epoch_count": fig.quiet_epoch_count,
+    }
+
+
+def fig6_payload(result) -> dict:
+    fig = fig6_duration_influence(result)
+    return {
+        "median_duration_hours": _float(fig.median_duration_hours),
+        "short_altitude_cdf": _cdf(fig.short_altitude_cdf),
+        "long_altitude_cdf": _cdf(fig.long_altitude_cdf),
+        "short_drag_cdf": _cdf(fig.short_drag_cdf),
+        "long_drag_cdf": _cdf(fig.long_drag_cdf),
+    }
+
+
+BUILDERS = {
+    "fig1_intensity_distribution": fig1_payload,
+    "fig2_storm_durations": fig2_payload,
+    "fig3_select_satellites": fig3_payload,
+    "fig5_intensity_influence": fig5_payload,
+    "fig6_duration_influence": fig6_payload,
+}
+
+
+@pytest.mark.parametrize("name", sorted(BUILDERS))
+def test_figure_matches_golden(name, result):
+    payload = BUILDERS[name](result)
+    text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    path = GOLDEN_DIR / f"{name}.json"
+    if os.environ.get("REGEN_GOLDEN"):
+        GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+        path.write_text(text)
+        pytest.skip(f"regenerated {path.name}")
+    assert path.exists(), (
+        f"missing golden fixture {path}; generate it with "
+        "REGEN_GOLDEN=1 pytest tests/core/test_figures_golden.py"
+    )
+    expected = json.loads(path.read_text())
+    actual = json.loads(text)
+    # Exact match — no tolerances.  json round-trips floats via repr,
+    # so this is bit-for-bit equality on every number in the figure.
+    assert actual == expected, (
+        f"{name} drifted from its golden fixture; if the change is "
+        "intentional, regenerate with REGEN_GOLDEN=1 and review the diff"
+    )

@@ -5,8 +5,8 @@ bit-identical to a serial one on a seeded scenario, and a re-run after
 incremental ingest only recomputes the satellites whose records changed.
 """
 
-from repro import CosmicDance, CosmicDanceConfig
-from repro.exec import ParallelExecutor, SerialExecutor
+from repro import CosmicDance, CosmicDanceConfig, analyze
+from repro.exec import ParallelExecutor, SerialExecutor, StageMemo, result_digest
 from repro.simulation.scenario import quickstart_scenario
 
 from tests.core.helpers import record, steady_history
@@ -18,6 +18,11 @@ def seeded_pipeline(config=None, executor=None):
     cd.ingest.add_dst(scenario.dst)
     cd.ingest.add_elements(scenario.catalog.all_elements())
     return cd
+
+
+def seeded_analysis(seed=2, **kwargs):
+    scenario = quickstart_scenario(seed=seed)
+    return analyze(scenario.dst, scenario.catalog, **kwargs)
 
 
 class TestParity:
@@ -88,3 +93,40 @@ class TestIncrementalRerun:
         by_name = {s.stage: s for s in health.stages}
         assert set(by_name) == {"fleet", "storms", "associate"}
         assert by_name["fleet"].elapsed_s > 0.0
+
+
+class TestSeedDeterminism:
+    """`analyze()` with a fixed seed is one result, however it executes.
+
+    The digest covers every scientific output plus the quarantine
+    ledger, and deliberately excludes wall-clock timings and cache
+    hit/miss counts — so serial vs parallel and cold vs warm cache must
+    all land on the same bytes.
+    """
+
+    def test_same_seed_same_digest(self):
+        assert result_digest(seeded_analysis()) == result_digest(seeded_analysis())
+
+    def test_different_seed_different_digest(self):
+        assert result_digest(seeded_analysis(seed=2)) != result_digest(
+            seeded_analysis(seed=3)
+        )
+
+    def test_serial_vs_two_worker_parallel(self):
+        serial = seeded_analysis(executor=SerialExecutor())
+        parallel = seeded_analysis(executor=ParallelExecutor(2))
+        assert result_digest(serial) == result_digest(parallel)
+
+    def test_cold_vs_warm_cache(self):
+        memo = StageMemo()
+        cold = seeded_analysis(memo=memo)
+        warm = seeded_analysis(memo=memo)
+        assert cold.health.cache_misses > 0 and warm.health.cache_hits > 0
+        assert result_digest(cold) == result_digest(warm)
+
+    def test_traced_run_digest_unchanged(self):
+        plain = seeded_analysis()
+        traced = seeded_analysis(
+            config=CosmicDanceConfig(trace=True), executor=ParallelExecutor(2)
+        )
+        assert result_digest(plain) == result_digest(traced)

@@ -1,0 +1,87 @@
+"""Unit tests for the metrics registry (repro.obs.metrics)."""
+
+import math
+
+import pytest
+
+from repro.obs import NULL_METRICS, MetricsRegistry
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("fleet.cache_hits")
+        counter.inc()
+        counter.inc(3)
+        sample = counter.sample()
+        assert (sample.name, sample.kind) == ("fleet.cache_hits", "counter")
+        assert sample.value == 4.0
+        assert sample.count == 2
+
+    def test_counter_rejects_decrease(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("c").inc(-1)
+
+    def test_gauge_last_write_wins(self):
+        gauge = MetricsRegistry().gauge("stage.fleet.elapsed_s")
+        gauge.set(1.5)
+        gauge.set(0.25)
+        sample = gauge.sample()
+        assert sample.value == 0.25
+        assert sample.count == 2
+
+    def test_histogram_summary(self):
+        histogram = MetricsRegistry().histogram("satellite.records")
+        for value in (3.0, 1.0, 2.0):
+            histogram.observe(value)
+        sample = histogram.sample()
+        assert (sample.count, sample.value) == (3, 6.0)
+        assert (sample.min, sample.max) == (1.0, 3.0)
+        assert histogram.mean == 2.0
+
+    def test_empty_histogram_mean_is_nan(self):
+        assert math.isnan(MetricsRegistry().histogram("h").mean)
+
+
+class TestRegistry:
+    def test_same_name_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("memo.hits")
+        with pytest.raises(ValueError):
+            registry.gauge("memo.hits")
+
+    def test_snapshot_sorted_by_name(self):
+        registry = MetricsRegistry()
+        registry.counter("zeta").inc()
+        registry.gauge("alpha").set(1.0)
+        assert [s.name for s in registry.snapshot()] == ["alpha", "zeta"]
+
+    def test_events_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("hits").inc(2)
+        registry.histogram("lat").observe(5.0)
+        events = list(registry.events())
+        counter_event = next(e for e in events if e["name"] == "hits")
+        assert counter_event == {
+            "type": "metric", "name": "hits", "kind": "counter",
+            "value": 2.0, "count": 1,
+        }
+        histogram_event = next(e for e in events if e["name"] == "lat")
+        assert histogram_event["min"] == histogram_event["max"] == 5.0
+
+
+class TestNullMetrics:
+    def test_noop_and_empty(self):
+        NULL_METRICS.counter("a").inc()
+        NULL_METRICS.gauge("b").set(1.0)
+        NULL_METRICS.histogram("c").observe(2.0)
+        assert len(NULL_METRICS) == 0
+        assert NULL_METRICS.snapshot() == ()
+        assert list(NULL_METRICS.events()) == []
+
+    def test_instruments_are_shared_singletons(self):
+        assert NULL_METRICS.counter("a") is NULL_METRICS.histogram("b")

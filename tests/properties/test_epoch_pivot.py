@@ -1,0 +1,101 @@
+"""Property-based tests for the TLE 2-digit epoch-year pivot.
+
+TLEs encode the year in two digits; by convention 57-99 mean 1957-1999
+and 00-56 mean 2000-2056.  The pivot at 57 and the range guard at
+1957/2056 are exactly the kind of boundary that silently shifts a
+satellite's whole history by a century when broken, so they get pinned
+both at the boundaries and across the full representable range.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TimeError
+from repro.time import Epoch
+from repro.time.julian import days_in_year
+
+
+class TestPivotBoundaries:
+    def test_57_is_1957(self):
+        assert Epoch.from_tle_epoch(57, 1.0).year == 1957
+
+    def test_56_is_2056(self):
+        assert Epoch.from_tle_epoch(56, 1.0).year == 2056
+
+    def test_99_is_1999_and_00_is_2000(self):
+        assert Epoch.from_tle_epoch(99, 1.0).year == 1999
+        assert Epoch.from_tle_epoch(0, 1.0).year == 2000
+
+    def test_centuries_meet_without_overlap(self):
+        # 99 day 365 and 00 day 1 are adjacent instants, not a century
+        # apart: the pivot must keep the timeline continuous.
+        end_of_1999 = Epoch.from_tle_epoch(99, 365.0)
+        start_of_2000 = Epoch.from_tle_epoch(0, 1.0)
+        assert 0 < start_of_2000.days_since(end_of_1999) <= 1.0
+
+
+class TestPivotProperties:
+    @given(st.integers(0, 99))
+    @settings(max_examples=100)
+    def test_two_digit_year_maps_into_1957_2056(self, yy):
+        year = Epoch.from_tle_epoch(yy, 1.0).year
+        assert 1957 <= year <= 2056
+        assert year % 100 == yy
+        assert year >= 2000 if yy <= 56 else year < 2000
+
+    @given(
+        st.integers(1957, 2056),
+        st.floats(0.0, 1.0, exclude_max=True, allow_nan=False),
+    )
+    @settings(max_examples=300)
+    def test_round_trip_over_the_whole_range(self, year, year_fraction):
+        day_of_year = 1.0 + year_fraction * (days_in_year(year) - 1)
+        epoch = Epoch.from_tle_epoch(year % 100, day_of_year)
+        assert epoch.year == year
+        yy, doy = epoch.to_tle_epoch()
+        assert yy == year % 100
+        # Day-of-year survives to well under a second.
+        assert abs(doy - day_of_year) < 1e-5
+        again = Epoch.from_tle_epoch(yy, doy)
+        assert abs(again.days_since(epoch)) < 1e-5
+
+    @given(st.integers(1957, 2056))
+    @settings(max_examples=100)
+    def test_to_tle_epoch_inverts_calendar_years(self, year):
+        yy, doy = Epoch.from_calendar(year, 7, 2, 12).to_tle_epoch()
+        assert yy == year % 100
+        assert Epoch.from_tle_epoch(yy, doy).year == year
+
+
+class TestRangeGuards:
+    @given(st.one_of(st.integers(-1000, -1), st.integers(100, 1000)))
+    @settings(max_examples=50)
+    def test_out_of_range_two_digit_year_raises(self, yy):
+        with pytest.raises(TimeError):
+            Epoch.from_tle_epoch(yy, 1.0)
+
+    @given(st.integers(0, 99), st.floats(allow_nan=False))
+    @settings(max_examples=200)
+    def test_out_of_range_day_of_year_raises(self, yy, day_of_year):
+        year = 1900 + yy if yy >= 57 else 2000 + yy
+        limit = days_in_year(year) + 1
+        if 1.0 <= day_of_year < limit:
+            Epoch.from_tle_epoch(yy, day_of_year)  # must not raise
+        else:
+            with pytest.raises(TimeError):
+                Epoch.from_tle_epoch(yy, day_of_year)
+
+    @given(st.one_of(st.integers(1800, 1956), st.integers(2057, 2200)))
+    @settings(max_examples=50)
+    def test_unrepresentable_years_refuse_to_encode(self, year):
+        with pytest.raises(TimeError):
+            Epoch.from_calendar(year, 6, 1).to_tle_epoch()
+
+    def test_guard_edges_encode(self):
+        assert Epoch.from_calendar(1957, 1, 1).to_tle_epoch()[0] == 57
+        assert Epoch.from_calendar(2056, 12, 31).to_tle_epoch()[0] == 56
+        with pytest.raises(TimeError):
+            Epoch.from_calendar(1956, 12, 31).to_tle_epoch()
+        with pytest.raises(TimeError):
+            Epoch.from_calendar(2057, 1, 1).to_tle_epoch()

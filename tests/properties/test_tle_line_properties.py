@@ -1,0 +1,129 @@
+"""Property-based tests for TLE *line* invariants.
+
+Where ``test_tle_roundtrip`` checks that formatting inverts parsing,
+these pin the line-format contract itself: the mod-10 checksum detects
+every single-digit corruption, field widths and separator columns never
+drift with the values, and the alpha-5 / implied-decimal field codecs
+round-trip across their whole documented ranges.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tle import format_tle, parse_tle
+from repro.tle.fields import (
+    TLE_LINE_LENGTH,
+    checksum,
+    decode_alpha5,
+    encode_alpha5,
+    format_implied_decimal,
+    parse_implied_decimal,
+    verify_checksum,
+)
+
+from tests.properties.test_tle_roundtrip import element_sets
+
+#: Column index of every mandatory separator blank in each line body
+#: (0-based; the spec fixes these regardless of field values).
+LINE1_BLANKS = (1, 8, 17, 32, 43, 52, 61, 63)
+LINE2_BLANKS = (1, 7, 16, 25, 33, 42, 51)
+
+
+class TestChecksumInvariance:
+    @given(element_sets(), st.data())
+    @settings(max_examples=300)
+    def test_any_digit_corruption_breaks_the_checksum(self, elements, data):
+        line = data.draw(st.sampled_from(format_tle(elements)), label="line")
+        digit_columns = [i for i in range(68) if line[i].isdigit()]
+        column = data.draw(st.sampled_from(digit_columns), label="column")
+        replacement = data.draw(
+            st.sampled_from("0123456789".replace(line[column], "")),
+            label="replacement",
+        )
+        corrupted = line[:column] + replacement + line[column + 1 :]
+        assert verify_checksum(line)
+        assert not verify_checksum(corrupted)
+
+    @given(element_sets())
+    @settings(max_examples=150)
+    def test_checksum_ignores_non_digit_non_minus_columns(self, elements):
+        line1, _ = format_tle(elements)
+        # Blank out the international designator (cols 9-16, letters and
+        # digits allowed there contribute 0 unless they are digits): a
+        # pure-letter replacement must leave the checksum unchanged.
+        lettered = line1[:9] + "ABCDEFGH" + line1[17:]
+        assert checksum(lettered) == checksum(
+            line1[:9] + "JKLMNPQR" + line1[17:]
+        )
+
+    @given(element_sets())
+    @settings(max_examples=150)
+    def test_truncated_lines_never_verify(self, elements):
+        line1, line2 = format_tle(elements)
+        for line in (line1, line2):
+            assert not verify_checksum(line[:68])
+            assert not verify_checksum(line[:40])
+
+
+class TestFieldWidths:
+    @given(element_sets())
+    @settings(max_examples=300)
+    def test_lines_are_exactly_69_columns(self, elements):
+        line1, line2 = format_tle(elements)
+        assert len(line1) == len(line2) == TLE_LINE_LENGTH
+        assert line1[0] == "1" and line2[0] == "2"
+
+    @given(element_sets())
+    @settings(max_examples=300)
+    def test_separator_columns_stay_blank(self, elements):
+        line1, line2 = format_tle(elements)
+        for column in LINE1_BLANKS:
+            assert line1[column] == " ", (column, line1)
+        for column in LINE2_BLANKS:
+            assert line2[column] == " ", (column, line2)
+
+    @given(element_sets())
+    @settings(max_examples=200)
+    def test_catalog_field_matches_between_lines(self, elements):
+        line1, line2 = format_tle(elements)
+        assert line1[2:7] == line2[2:7] == encode_alpha5(elements.catalog_number)
+
+    @given(element_sets())
+    @settings(max_examples=200)
+    def test_reformatting_parsed_lines_preserves_widths(self, elements):
+        # Width preservation through a full round trip: no field may
+        # grow or shift even for extreme in-range values.  Compare the
+        # column layout, not the text: a sign column may legitimately
+        # flip between '-', '+', and blank (e.g. -0.0 round-trips to an
+        # unsigned zero) without any field moving.
+        def layout(line):
+            return "".join(
+                "d" if c.isdigit() else "s" if c in " +-" else c
+                for c in line
+            )
+
+        first = format_tle(elements)
+        second = format_tle(parse_tle(*first))
+        assert [layout(line) for line in first] == [
+            layout(line) for line in second
+        ]
+
+
+class TestFieldCodecs:
+    @given(st.integers(0, 339999))
+    @settings(max_examples=300)
+    def test_alpha5_round_trip(self, catalog_number):
+        field = encode_alpha5(catalog_number)
+        assert len(field) == 5
+        assert decode_alpha5(field) == catalog_number
+
+    @given(st.floats(-0.5, 0.5, allow_nan=False))
+    @settings(max_examples=300)
+    def test_implied_decimal_round_trip(self, value):
+        field = format_implied_decimal(value)
+        assert len(field) == 8
+        parsed = parse_implied_decimal(field)
+        if abs(value) < 1e-10:
+            assert parsed == 0.0
+        else:
+            assert abs(parsed - value) <= max(1e-10, abs(value) * 1e-4)
