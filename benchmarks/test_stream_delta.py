@@ -1,0 +1,113 @@
+"""Streaming delta-efficiency benchmark.
+
+Measures what the delta-aware planner buys on the warm path: after a
+full replay of the paper fleet, one new TLE chunk must re-run exactly
+one (satellite, fleet) pair — everything else is a StageMemo hit — and
+the refresh must cost a small fraction of the cold run.  Also times the
+per-chunk hot path (ingest + online detection + alerting), which is the
+monitor's steady-state cost.  Measurements go to ``BENCH_stream.json``
+at the repository root.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+
+from repro.exec import result_digest
+from repro.simulation import paper_scenario
+from repro.stream import FeedChunk, StreamMonitor, split_feed
+from repro.tle.elements import MeanElements
+
+BENCH_PATH = pathlib.Path(__file__).parent.parent / "BENCH_stream.json"
+
+SATELLITES = 72
+CHUNK_HOURS = 24.0
+
+
+def bumped(element: MeanElements) -> MeanElements:
+    """A genuinely new record for the same satellite, one day later."""
+    from dataclasses import replace
+
+    return replace(element, epoch=element.epoch.add_days(1.0))
+
+
+def test_stream_delta_efficiency(emit):
+    scenario = paper_scenario(total_satellites=SATELLITES, seed=0)
+    chunks = split_feed(scenario.dst, scenario.catalog, chunk_hours=CHUNK_HOURS)
+
+    monitor = StreamMonitor()
+    started = time.perf_counter()
+    for chunk in chunks:
+        monitor.offer(chunk)
+    hot_s = time.perf_counter() - started
+    hot_path_ms = 1000.0 * (hot_s / max(1, len(chunks)))
+    started = time.perf_counter()
+    cold = monitor.refresh()
+    cold_s = time.perf_counter() - started
+    replay_s = hot_s + cold_s
+    cold_digest = result_digest(cold.result)
+
+    # Warm refresh with nothing new: the plan must be empty and the run
+    # must be pure cache service.
+    memo = monitor.pipeline.memo
+    hits0, misses0 = memo.hits, memo.misses
+    started = time.perf_counter()
+    noop = monitor.refresh()
+    noop_s = time.perf_counter() - started
+    assert noop.plan.dirty == ()
+    assert not noop.plan.any_dirty
+    assert memo.misses == misses0
+    assert result_digest(noop.result) == cold_digest
+
+    # One new TLE for one satellite: exactly one dirty pair re-runs.
+    target = sorted(scenario.catalog.catalog_numbers)[0]
+    last = max(scenario.catalog.get(target), key=lambda e: e.epoch.unix)
+    monitor.offer(FeedChunk.of_elements([bumped(last)]))
+    hits1, misses1 = memo.hits, memo.misses
+    started = time.perf_counter()
+    delta_refresh = monitor.refresh()
+    delta_s = time.perf_counter() - started
+    dirty_misses = memo.misses - misses1
+    clean_hits = memo.hits - hits1
+
+    assert delta_refresh.plan.dirty == (target,)
+    assert len(delta_refresh.plan.clean) == SATELLITES - 1
+    assert dirty_misses == len(delta_refresh.plan.dirty) == 1
+    assert clean_hits == SATELLITES - 1
+
+    payload = {
+        "cpu_count": os.cpu_count(),
+        "satellites": SATELLITES,
+        "chunk_hours": CHUNK_HOURS,
+        "chunks": len(chunks),
+        "hot_path_total_s": round(hot_s, 4),
+        "cold_refresh_s": round(cold_s, 4),
+        "replay_total_s": round(replay_s, 4),
+        "hot_path_per_chunk_ms": round(hot_path_ms, 4),
+        "alerts_emitted": len(monitor.alerts.emitted),
+        "noop_refresh_s": round(noop_s, 4),
+        "delta_refresh_s": round(delta_s, 4),
+        "delta_dirty_pairs": dirty_misses,
+        "delta_memo_hits": clean_hits,
+    }
+    BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    emit(
+        "stream_delta",
+        "\n".join(
+            [
+                f"streaming over {SATELLITES} satellites, "
+                f"{len(chunks)} chunks of {CHUNK_HOURS:g} h:",
+                f"  hot path total      {hot_s:8.3f} s",
+                f"  cold refresh        {cold_s:8.3f} s",
+                f"  hot path per chunk  {hot_path_ms:8.3f} ms",
+                f"  no-op refresh       {noop_s:8.3f} s",
+                f"  1-dirty refresh     {delta_s:8.3f} s   "
+                f"({dirty_misses} recompute, {clean_hits} memo hits)",
+                f"  alerts emitted      {len(monitor.alerts.emitted):5d}",
+            ]
+        ),
+    )

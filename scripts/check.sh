@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Pre-PR gate: byte-compile everything, run the tier-1 suite (with any
 # DeprecationWarning raised from repro's own code escalated to an
-# error), the robustness suite, the chaos (fault-injection) suite, and
-# a 2-worker parallel end-to-end smoke run.  All of it must pass before
-# a change ships (see README.md, "Tests").
+# error), the robustness suite, the streaming suite, the chaos
+# (fault-injection) suite, a 2-worker parallel end-to-end smoke run,
+# and the batch-vs-replay parity gate.  All of it must pass before a
+# change ships (see README.md, "Tests").
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -17,6 +18,9 @@ python -m pytest -x -q -W "error::DeprecationWarning:repro"
 
 echo "== robustness suite =="
 python -m pytest -x -q tests/robustness
+
+echo "== streaming suite =="
+python -m pytest -x -q tests/stream
 
 echo "== chaos suite =="
 python -m pytest -x -q -m chaos tests/robustness
@@ -39,5 +43,13 @@ python -m repro.cli analyze --cache "$SMOKE_DIR" --workers 2 >/dev/null
 python -m repro.cli analyze --cache "$SMOKE_DIR" --workers 2 \
   | grep -q "0 miss(es)" \
   || { echo "parallel smoke run: stage cache did not warm" >&2; exit 1; }
+
+echo "== batch-vs-replay parity gate =="
+# Streaming the same dataset chunk-by-chunk must land on the exact
+# batch result digest (see docs/STREAMING.md).
+python -m repro.cli replay --cache "$SMOKE_DIR" --chunk-hours 168 \
+  --run-every 10 --verify-parity \
+  | grep -q "parity OK" \
+  || { echo "replay digest diverged from the batch run" >&2; exit 1; }
 
 echo "All checks passed."

@@ -21,7 +21,7 @@ pass a :class:`ParallelExecutor`) to spread the per-satellite fleet
 stage over a process pool.
 """
 
-from repro.api import analyze
+from repro.api import analyze, replay
 from repro.core.cleaning import CleanedHistory, CleaningReport
 from repro.core.config import CosmicDanceConfig
 from repro.core.decay import DecayAssessment, DecayState
@@ -40,6 +40,14 @@ from repro.robustness.retry import RetryPolicy
 from repro.spaceweather.dst import DstIndex
 from repro.spaceweather.scales import StormLevel, classify_dst
 from repro.spaceweather.storms import StormEpisode, detect_episodes
+from repro.stream import (
+    Alert,
+    AlertEngine,
+    FeedChunk,
+    OnlineStormDetector,
+    StreamMonitor,
+    split_feed,
+)
 from repro.time import Epoch
 from repro.timeseries import TimeSeries
 from repro.tle.catalog import SatelliteCatalog
@@ -47,9 +55,11 @@ from repro.tle.elements import MeanElements
 from repro.tle.format import format_tle
 from repro.tle.parse import parse_tle, parse_tle_file
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
+    "Alert",
+    "AlertEngine",
     "Association",
     "CleanedHistory",
     "CleaningReport",
@@ -60,8 +70,10 @@ __all__ = [
     "DstIndex",
     "Epoch",
     "Executor",
+    "FeedChunk",
     "MeanElements",
     "MetricsRegistry",
+    "OnlineStormDetector",
     "ParallelExecutor",
     "PipelineResult",
     "QuarantineLedger",
@@ -72,6 +84,7 @@ __all__ = [
     "StageMemo",
     "StormEpisode",
     "StormLevel",
+    "StreamMonitor",
     "TimeSeries",
     "Tracer",
     "TrajectoryEvent",
@@ -82,6 +95,8 @@ __all__ = [
     "format_tle",
     "parse_tle",
     "parse_tle_file",
+    "replay",
     "result_digest",
+    "split_feed",
     "__version__",
 ]

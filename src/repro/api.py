@@ -36,9 +36,11 @@ from repro.tle.catalog import SatelliteCatalog
 from repro.tle.elements import MeanElements
 
 if TYPE_CHECKING:
+    from repro.core.triggers import TriggerThresholds
     from repro.obs.tracer import Tracer
+    from repro.stream.monitor import StreamMonitor, StreamUpdate
 
-__all__ = ["analyze"]
+__all__ = ["analyze", "replay"]
 
 
 def analyze(
@@ -72,6 +74,54 @@ def analyze(
     pipeline.ingest.add_dst(_coerce_dst(dst))
     _ingest_elements(pipeline, elements)
     return pipeline.run()
+
+
+def replay(
+    dst: DstIndex | str,
+    elements: "Iterable[MeanElements] | SatelliteCatalog | str",
+    *,
+    chunk_hours: float = 24.0,
+    run_every: int | None = None,
+    config: CosmicDanceConfig | None = None,
+    executor: Executor | None = None,
+    memo: StageMemo | None = None,
+    tracer: "Tracer | None" = None,
+    thresholds: "TriggerThresholds | None" = None,
+) -> "tuple[StreamMonitor, list[StreamUpdate]]":
+    """Replay a batch dataset through the streaming monitor.
+
+    The dataset is sliced into *chunk_hours*-wide feed chunks
+    (:func:`repro.stream.split_feed`) and fed through a fresh
+    :class:`~repro.stream.StreamMonitor` — online storm detection and
+    alerting run chunk by chunk, and an analysis refresh runs every
+    *run_every* chunks (``None``: once, at end of feed).  Returns the
+    monitor (holding the final result, the alert journal, and the warm
+    stage cache) and the per-chunk updates.
+
+    The final result's :func:`~repro.exec.result_digest` is identical
+    to :func:`analyze` over the same data — chunking changes cost,
+    never results.  See ``docs/STREAMING.md``.
+    """
+    from repro.stream.chunks import split_feed
+    from repro.stream.monitor import StreamMonitor
+
+    staging = CosmicDance()
+    staging.ingest.add_dst(_coerce_dst(dst))
+    _ingest_elements(staging, elements)
+    catalog, dst_index = staging.ingest.require_ready()
+
+    monitor = StreamMonitor(
+        config,
+        executor=executor,
+        memo=memo,
+        tracer=tracer,
+        thresholds=thresholds,
+        run_every=run_every,
+    )
+    updates = monitor.replay(
+        split_feed(dst_index, catalog, chunk_hours=chunk_hours)
+    )
+    return monitor, updates
 
 
 def _coerce_dst(dst: DstIndex | str) -> DstIndex:

@@ -11,7 +11,11 @@ Subcommands mirror how the original tool is operated:
 * ``report``   — the pipeline plus the full run-summary report;
 * ``lifetime`` — uncontrolled orbital-lifetime estimates;
 * ``triggers`` — LEOScope-style storm-triggered campaign schedules;
-* ``trace-report`` — render a persisted ``--trace`` run's span tree.
+* ``trace-report`` — render a persisted ``--trace`` run's span tree;
+* ``replay``   — feed a cached dataset chunk-by-chunk through the
+  streaming monitor (optionally verifying batch parity);
+* ``watch``    — run the streaming monitor live over a simulated feed,
+  printing alerts as they fire.
 
 Example session::
 
@@ -59,6 +63,21 @@ def _add_tle_arguments(parser: argparse.ArgumentParser) -> None:
         "--cache",
         type=pathlib.Path,
         help="DataStore directory holding dst.csv and tles/",
+    )
+
+
+def _add_threshold_arguments(parser: argparse.ArgumentParser) -> None:
+    """The storm-threshold pair: a percentile of the series, or an
+    explicit nT value — one or the other, never both."""
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument(
+        "--percentile", type=float, default=None,
+        help="intensity percentile selecting the threshold (default 99)",
+    )
+    group.add_argument(
+        "--threshold", type=float, default=None,
+        help="explicit Dst threshold [nT] (mutually exclusive with "
+             "--percentile)",
     )
 
 
@@ -201,12 +220,18 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _effective_threshold(args: argparse.Namespace, dst) -> float:
+    """Resolve the --threshold / --percentile pair (parser-enforced
+    mutually exclusive) to a Dst threshold [nT]."""
+    if args.threshold is not None:
+        return args.threshold
+    percentile = args.percentile if args.percentile is not None else 99.0
+    return dst.intensity_percentile(percentile)
+
+
 def cmd_storms(args: argparse.Namespace) -> int:
     dst = _load_dst(args.dst)
-    if args.threshold is not None:
-        threshold = args.threshold
-    else:
-        threshold = dst.intensity_percentile(args.percentile)
+    threshold = _effective_threshold(args, dst)
     episodes = detect_episodes(dst, threshold, merge_gap_hours=args.merge_gap)
     print(
         render_table(
@@ -336,11 +361,7 @@ def cmd_triggers(args: argparse.Namespace) -> int:
     from repro.core.triggers import TriggerPolicy, schedule_campaigns
 
     dst = _load_dst(args.dst)
-    threshold = (
-        args.threshold
-        if args.threshold is not None
-        else dst.intensity_percentile(args.percentile)
-    )
+    threshold = _effective_threshold(args, dst)
     episodes = detect_episodes(dst, threshold)
     campaigns = schedule_campaigns(
         episodes, TriggerPolicy(min_gap_hours=args.min_gap_hours)
@@ -374,6 +395,117 @@ def cmd_report(args: argparse.Namespace) -> int:
     artifact = _emit_trace(pipeline, store)
     if artifact is not None:
         print(f"trace written to {args.cache / 'obs' / artifact}")
+    return 0
+
+
+def _print_alert(alert) -> None:
+    print(
+        f"  [{alert.severity}] {alert.when.isoformat()}  "
+        f"{alert.kind.value}: {alert.message}"
+    )
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    from repro.exec import result_digest
+    from repro.stream import StreamMonitor, split_feed
+
+    store = DataStore(args.cache)
+    dst = store.load_dst()
+    catalog = store.load_catalog()
+    if dst is None or catalog is None or not len(catalog):
+        raise ReproError(
+            f"no dataset under {args.cache}; run "
+            "'cosmicdance simulate --out ...' first"
+        )
+    config = CosmicDanceConfig(workers=args.workers)
+    monitor = StreamMonitor(config, store=store, run_every=args.run_every)
+    chunks = split_feed(dst, catalog, chunk_hours=args.chunk_hours)
+    updates = monitor.replay(chunks)
+
+    refreshes = sum(1 for u in updates if u.ran)
+    for update in updates:
+        for alert in update.alerts:
+            _print_alert(alert)
+    result = monitor.result
+    digest = result_digest(result)
+    marks = monitor.watermarks
+    print(
+        f"replayed {len(chunks)} chunk(s) ({args.chunk_hours:g} h each): "
+        f"{refreshes} refresh(es), {len(monitor.alerts.emitted)} alert(s)"
+    )
+    print(
+        f"final state: {len(result.storm_episodes)} storm episodes, "
+        f"{len(result.associations)} associations, "
+        f"{len(result.permanently_decayed)} permanent decay(s)"
+    )
+    print(f"watermarks: dst={marks.dst_high}, tle={marks.tle_high}")
+    print(f"alert log: {args.cache / 'alerts' / 'alerts.jsonl'}")
+    print(f"result digest: {digest}")
+    if args.verify_parity:
+        from repro import analyze
+
+        batch = result_digest(
+            analyze(dst, catalog, config=CosmicDanceConfig(workers=args.workers))
+        )
+        if batch != digest:
+            print(
+                f"PARITY FAILED: batch digest {batch} != replay digest {digest}",
+                file=sys.stderr,
+            )
+            return 1
+        print("parity OK: replay digest matches the one-shot batch run")
+    return 0
+
+
+def cmd_watch(args: argparse.Namespace) -> int:
+    from repro.simulation.scenario import (
+        may2024_scenario,
+        paper_scenario,
+        quickstart_scenario,
+    )
+    from repro.stream import StreamMonitor, split_feed
+
+    builders = {
+        "quickstart": quickstart_scenario,
+        "paper": paper_scenario,
+        "may2024": may2024_scenario,
+    }
+    scenario = builders[args.scenario](seed=args.seed)
+    store = DataStore(args.out) if args.out else None
+    monitor = StreamMonitor(store=store, run_every=args.run_every)
+    chunks = split_feed(
+        scenario.dst, scenario.catalog, chunk_hours=args.chunk_hours
+    )
+    if args.max_chunks is not None:
+        chunks = chunks[: args.max_chunks]
+
+    print(
+        f"watching scenario '{scenario.name}' as {len(chunks)} "
+        f"chunk(s) of {args.chunk_hours:g} h"
+    )
+    for chunk in chunks:
+        update = monitor.step(chunk)
+        for alert in update.alerts:
+            _print_alert(alert)
+        if update.ran and update.plan is not None:
+            print(
+                f"  -- refresh: {len(update.plan.dirty)} dirty / "
+                f"{len(update.plan.clean)} cached satellite(s)"
+            )
+    if monitor.ready():
+        final = monitor.refresh()
+        for alert in final.alerts:
+            _print_alert(alert)
+        result = final.result
+        print(
+            f"final: {len(result.storm_episodes)} storm episodes, "
+            f"{len(result.permanently_decayed)} permanent decay(s), "
+            f"{len(monitor.alerts.emitted)} alert(s) total"
+        )
+    else:
+        print("feed ended before both data modalities arrived; no analysis run")
+    if store is not None:
+        print(f"alert log: {args.out / 'alerts' / 'alerts.jsonl'}")
     return 0
 
 
@@ -413,9 +545,7 @@ def build_parser() -> argparse.ArgumentParser:
     storms = subparsers.add_parser("storms", help="list storm episodes")
     storms.add_argument("--dst", type=pathlib.Path, required=True,
                         help="Dst file (CSV or WDC format)")
-    storms.add_argument("--percentile", type=float, default=99.0)
-    storms.add_argument("--threshold", type=float, default=None,
-                        help="explicit Dst threshold [nT] (overrides --percentile)")
+    _add_threshold_arguments(storms)
     storms.add_argument("--merge-gap", type=int, default=0)
     storms.set_defaults(func=cmd_storms)
 
@@ -461,8 +591,7 @@ def build_parser() -> argparse.ArgumentParser:
         "triggers", help="schedule storm-triggered measurement campaigns"
     )
     triggers.add_argument("--dst", type=pathlib.Path, required=True)
-    triggers.add_argument("--percentile", type=float, default=99.0)
-    triggers.add_argument("--threshold", type=float, default=None)
+    _add_threshold_arguments(triggers)
     triggers.add_argument("--min-gap-hours", type=float, default=24.0)
     triggers.set_defaults(func=cmd_triggers)
 
@@ -479,6 +608,64 @@ def build_parser() -> argparse.ArgumentParser:
         help="trace artifact name (default: trace)",
     )
     trace_report.set_defaults(func=cmd_trace_report)
+
+    replay = subparsers.add_parser(
+        "replay",
+        help="replay a cached dataset chunk-by-chunk through the "
+             "streaming monitor",
+    )
+    replay.add_argument(
+        "--cache", type=pathlib.Path, required=True,
+        help="DataStore directory holding dst.csv and tles/",
+    )
+    replay.add_argument(
+        "--chunk-hours", type=float, default=24.0,
+        help="feed chunk width [hours] (default: 24)",
+    )
+    replay.add_argument(
+        "--run-every", type=int, default=None, metavar="N",
+        help="refresh the analysis every N chunks (default: once, at "
+             "end of feed)",
+    )
+    replay.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="worker processes for each analysis refresh",
+    )
+    replay.add_argument(
+        "--verify-parity", action="store_true",
+        help="also run the one-shot batch pipeline and fail unless both "
+             "result digests match",
+    )
+    replay.set_defaults(func=cmd_replay)
+
+    watch = subparsers.add_parser(
+        "watch",
+        help="run the streaming monitor live over a simulated feed",
+    )
+    watch.add_argument(
+        "--scenario",
+        choices=("quickstart", "paper", "may2024"),
+        default="quickstart",
+    )
+    watch.add_argument("--seed", type=int, default=2)
+    watch.add_argument(
+        "--chunk-hours", type=float, default=24.0,
+        help="feed chunk width [hours] (default: 24)",
+    )
+    watch.add_argument(
+        "--run-every", type=int, default=None, metavar="N",
+        help="refresh the analysis every N chunks (default: once, at "
+             "end of feed)",
+    )
+    watch.add_argument(
+        "--max-chunks", type=int, default=None, metavar="N",
+        help="stop after the first N chunks",
+    )
+    watch.add_argument(
+        "--out", type=pathlib.Path, default=None,
+        help="DataStore directory for the alert journal (optional)",
+    )
+    watch.set_defaults(func=cmd_watch)
 
     return parser
 

@@ -5,10 +5,16 @@ are discovered from whatever TLEs arrive, historical element sets merge
 in incrementally and idempotently, and Dst blocks splice into one
 hourly series.  Sources can be in-memory objects, TLE text dumps, or
 WDC-format Dst text — whatever the caller has.
+
+Idempotency contract: element sets dedup by (NORAD id, epoch), so
+re-ingesting an overlapping file can never double-count records — the
+add methods return only the number of *new* records, and repeating a
+TLE text batch neither re-counts its parse errors nor re-ledgers them.
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Iterable
 
@@ -28,6 +34,9 @@ class IngestStats:
     tle_records_added: int = 0
     tle_records_duplicate: int = 0
     tle_parse_errors: int = 0
+    #: Text batches whose exact content was ingested before (their parse
+    #: errors are not re-counted or re-ledgered).
+    tle_batches_duplicate: int = 0
     dst_hours: int = 0
 
 
@@ -43,6 +52,7 @@ class IngestState:
     #: ``run()`` folds it into ``PipelineResult.health``.
     ledger: QuarantineLedger = field(default_factory=QuarantineLedger)
     _tle_batches: int = 0
+    _seen_tle_batches: set[str] = field(default_factory=set)
 
     # --- solar activity -------------------------------------------------
     def add_dst(self, dst: DstIndex) -> None:
@@ -57,32 +67,61 @@ class IngestState:
     # --- trajectories -----------------------------------------------------
     def add_elements(self, elements: Iterable[MeanElements]) -> int:
         """Merge element sets; returns how many were new."""
-        added = 0
+        return sum(self.add_elements_delta(elements).values())
+
+    def add_elements_delta(
+        self, elements: Iterable[MeanElements]
+    ) -> dict[int, int]:
+        """Merge element sets; returns new-record counts per satellite.
+
+        Only satellites that actually gained records appear in the
+        result — re-offering known (NORAD id, epoch) pairs is a no-op
+        beyond the duplicate counter.
+        """
+        added: dict[int, int] = {}
         for element in elements:
             if self.catalog.add(element):
-                added += 1
+                added[element.catalog_number] = added.get(element.catalog_number, 0) + 1
+                self.stats.tle_records_added += 1
             else:
                 self.stats.tle_records_duplicate += 1
-        self.stats.tle_records_added += added
         return added
 
     def add_tle_text(
         self, text: str, *, verify: bool = True, source: str | None = None
     ) -> int:
         """Ingest a TLE dump (2LE or 3LE); malformed records are counted
-        and ledgered (under *source*, when given), not fatal."""
+        and ledgered (under *source*, when given), not fatal.  Returns
+        the number of records that were new."""
+        return sum(
+            self.add_tle_text_delta(text, verify=verify, source=source).values()
+        )
+
+    def add_tle_text_delta(
+        self, text: str, *, verify: bool = True, source: str | None = None
+    ) -> dict[int, int]:
+        """Like :meth:`add_tle_text`, but returns new-record counts per
+        satellite.  An exact re-delivery of a previously seen batch still
+        passes through record-level dedup (so duplicate counters stay
+        truthful) but does not re-count or re-ledger its parse errors."""
+        content_key = hashlib.sha256(text.encode()).hexdigest()
+        seen_before = content_key in self._seen_tle_batches
         report = parse_tle_file(text.splitlines(), verify=verify)
-        self.stats.tle_parse_errors += report.error_count
         self._tle_batches += 1
-        if report.error_count:
-            name = source or f"tle-batch-{self._tle_batches}"
-            self.ledger.quarantine_artifact(
-                name,
-                "ingest",
-                f"{report.error_count} unparsable TLE record(s) "
-                f"({report.parsed_count} parsed)",
-            )
-        return self.add_elements(report.elements)
+        if seen_before:
+            self.stats.tle_batches_duplicate += 1
+        else:
+            self._seen_tle_batches.add(content_key)
+            self.stats.tle_parse_errors += report.error_count
+            if report.error_count:
+                name = source or f"tle-batch-{self._tle_batches}"
+                self.ledger.quarantine_artifact(
+                    name,
+                    "ingest",
+                    f"{report.error_count} unparsable TLE record(s) "
+                    f"({report.parsed_count} parsed)",
+                )
+        return self.add_elements_delta(report.elements)
 
     def require_ready(self) -> tuple[SatelliteCatalog, DstIndex]:
         """Both data modalities must be present before analysis."""

@@ -35,7 +35,7 @@ from __future__ import annotations
 import logging
 import time
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable
 
 from repro.core.analysis import (
     AltitudeChangeSample,
@@ -214,7 +214,9 @@ class CosmicDance:
     ``tracer`` overrides the one implied by ``config.trace`` (pass a
     live :class:`~repro.obs.Tracer` to capture spans across several
     runs, or rely on the flag — off means the null tracer and zero
-    observability overhead).
+    observability overhead); ``task_factory`` overrides how histories
+    become executor work units (:func:`satellite_task` by default —
+    the streaming planner plugs in a digest-caching factory here).
     """
 
     def __init__(
@@ -224,9 +226,11 @@ class CosmicDance:
         executor: Executor | None = None,
         memo: StageMemo | None = None,
         tracer: "Tracer | NullTracer | None" = None,
+        task_factory: "Callable[[SatelliteHistory], SatelliteTask] | None" = None,
     ) -> None:
         self.config = config or CosmicDanceConfig()
         self.ingest = IngestState()
+        self._task_factory = task_factory or satellite_task
         self.executor: Executor = executor or default_executor(self.config)
         if memo is not None:
             self.memo: StageMemo | None = memo
@@ -282,7 +286,13 @@ class CosmicDance:
         # quarantine the satellite (or, with config.strict, re-raise).
         with self.tracer.span("stage:fleet") as fleet_span:
             fleet_started = time.perf_counter()
-            tasks = [satellite_task(history) for history in catalog]
+            # Sorted by catalog number so results (event order, digests)
+            # are independent of ingestion order — chunked/streaming
+            # ingest must land on the same bytes as a one-shot batch.
+            tasks = [
+                self._task_factory(catalog.get(number))
+                for number in catalog.catalog_numbers
+            ]
             cfg_digest = config_digest(self.config)
             cached: dict[int, SatelliteOutcome] = {}
             dirty: list[SatelliteTask] = []

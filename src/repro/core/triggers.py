@@ -10,10 +10,15 @@ with pre-storm baseline and post-storm observation windows.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable
 
 from repro.errors import PipelineError
 from repro.spaceweather.storms import StormEpisode
 from repro.time import Epoch
+
+if TYPE_CHECKING:
+    from repro.core.decay import DecayAssessment
+    from repro.core.relations import TrajectoryEvent
 
 
 @dataclass(frozen=True, slots=True)
@@ -53,6 +58,89 @@ class TriggerPolicy:
             raise PipelineError("window hours must be non-negative")
         if self.min_gap_hours < 0:
             raise PipelineError("rate limit must be non-negative")
+
+
+@dataclass(frozen=True, slots=True)
+class TriggerThresholds:
+    """Operational significance bar for per-satellite trigger events.
+
+    The detection stages are deliberately sensitive (the paper wants
+    every candidate pair); a live monitor alerting humans needs a
+    higher bar, set here.
+    """
+
+    #: Decay-onset events shallower than this never trigger [km].
+    min_altitude_drop_km: float = 2.0
+    #: Drag-spike events below this B* ratio never trigger.
+    min_bstar_factor: float = 2.5
+    #: Whether end-of-record permanent decay is a trigger.
+    include_permanent_decay: bool = True
+
+    def __post_init__(self) -> None:
+        if self.min_altitude_drop_km < 0:
+            raise PipelineError("altitude-drop threshold must be non-negative")
+        if self.min_bstar_factor < 1.0:
+            raise PipelineError("B* factor threshold must be at least 1.0")
+
+
+@dataclass(frozen=True, slots=True)
+class TrajectoryTrigger:
+    """One per-satellite event clearing the operational bar."""
+
+    catalog_number: int
+    #: ``"altitude-drop"``, ``"bstar-spike"`` or ``"permanent-decay"``.
+    kind: str
+    epoch: Epoch
+    #: Deficit [km] for altitude events, B* ratio for drag events.
+    magnitude: float
+
+
+def trajectory_triggers(
+    events: "Iterable[TrajectoryEvent]",
+    assessments: "Iterable[DecayAssessment]" = (),
+    thresholds: TriggerThresholds | None = None,
+) -> list[TrajectoryTrigger]:
+    """Filter detected trajectory events down to trigger-worthy ones.
+
+    Sorted by (epoch, catalog number, kind) so replays are
+    deterministic whatever order the detection stages emitted in.
+    """
+    from repro.core.decay import DecayState
+    from repro.core.relations import TrajectoryEventKind
+
+    thresholds = thresholds or TriggerThresholds()
+    triggers: list[TrajectoryTrigger] = []
+    for event in events:
+        if event.kind is TrajectoryEventKind.DECAY_ONSET:
+            if event.magnitude < thresholds.min_altitude_drop_km:
+                continue
+            kind = "altitude-drop"
+        else:
+            if event.magnitude < thresholds.min_bstar_factor:
+                continue
+            kind = "bstar-spike"
+        triggers.append(
+            TrajectoryTrigger(
+                catalog_number=event.catalog_number,
+                kind=kind,
+                epoch=event.epoch,
+                magnitude=event.magnitude,
+            )
+        )
+    if thresholds.include_permanent_decay:
+        for assessment in assessments:
+            if assessment.state is not DecayState.PERMANENT_DECAY:
+                continue
+            triggers.append(
+                TrajectoryTrigger(
+                    catalog_number=assessment.catalog_number,
+                    kind="permanent-decay",
+                    epoch=assessment.decay_onset,
+                    magnitude=assessment.final_deficit_km,
+                )
+            )
+    triggers.sort(key=lambda t: (t.epoch.unix, t.catalog_number, t.kind))
+    return triggers
 
 
 def _priority(peak_nt: float) -> int:

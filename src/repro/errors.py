@@ -65,6 +65,10 @@ class ExecutionError(PipelineError):
     """Executor misconfiguration or unrecoverable worker-pool failure."""
 
 
+class StreamError(PipelineError):
+    """Malformed feed chunk or mis-sequenced streaming-monitor call."""
+
+
 class RobustnessError(ReproError):
     """Problem in the fault-tolerance layer (retry policies, fault plans)."""
 

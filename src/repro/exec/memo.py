@@ -81,6 +81,18 @@ class StageMemo:
             self.metrics.counter("memo.hits").inc()
         return replace(outcome, from_cache=True)
 
+    def peek(self, history_digest: str, config_digest: str) -> bool:
+        """Whether an outcome is cached for the pair — a pure membership
+        probe that moves no hit/miss counters and loads nothing into the
+        memory tier.  The streaming planner uses this to predict which
+        (satellite, stage) pairs a run would actually recompute."""
+        key = (history_digest, config_digest)
+        if key in self._memory:
+            return True
+        if self.store is not None:
+            return self.store.load_stage_outcome(cache_key(*key)) is not None
+        return False
+
     def put(
         self, history_digest: str, config_digest: str, outcome: SatelliteOutcome
     ) -> None:

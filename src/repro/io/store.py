@@ -8,6 +8,7 @@ Directory layout::
       tles/<catalog>.tle      per-satellite TLE history (2LE text)
       stage_cache/            memoized per-satellite stage outcomes
       obs/<name>.jsonl        persisted observability traces
+      alerts/<name>.jsonl     append-only streaming alert log
       quarantine/             corrupt files moved aside in salvage mode
 
 `save_*` methods overwrite atomically and durably (unique temp file in
@@ -145,6 +146,10 @@ class DataStore:
     @property
     def _obs_dir(self) -> pathlib.Path:
         return self.root / "obs"
+
+    @property
+    def _alerts_dir(self) -> pathlib.Path:
+        return self.root / "alerts"
 
     # --- Dst -------------------------------------------------------------
     def save_dst(self, dst: DstIndex) -> None:
@@ -366,6 +371,53 @@ class DataStore:
         if not self._obs_dir.is_dir():
             return []
         return sorted(p.stem for p in self._obs_dir.glob("*.jsonl"))
+
+    # --- streaming alert log (see repro.stream.alerts) ----------------------
+    def append_alerts(self, lines: Iterable[str], *, name: str = "alerts") -> int:
+        """Append JSONL alert lines to ``alerts/<name>.jsonl``.
+
+        An alert log is an *event journal*, not a cache: unlike every
+        other artifact it must never lose already-written history, so
+        it appends (with flush + fsync for durability) instead of the
+        overwrite-by-rename discipline.  Returns how many lines were
+        written.
+        """
+        lines = [line.rstrip("\n") for line in lines]
+        if not lines:
+            return 0
+        self._alerts_dir.mkdir(exist_ok=True)
+        path = self._alerts_dir / f"{name}.jsonl"
+
+        def _append() -> None:
+            with open(path, "a") as handle:
+                handle.write("".join(line + "\n" for line in lines))
+                handle.flush()
+                os.fsync(handle.fileno())
+
+        self._call(_append)
+        return len(lines)
+
+    def load_alerts(self, *, name: str = "alerts") -> list[str] | None:
+        """Load the alert log's JSONL lines, or None when absent.
+
+        Like traces, alert logs are observability artifacts: an
+        unreadable file is ledgered and treated as absent, never
+        raised.
+        """
+        path = self._alerts_dir / f"{name}.jsonl"
+        if not path.exists():
+            return None
+        try:
+            text = self._call(self._read_text, path)
+        except OSError as exc:
+            self.ledger.quarantine_artifact(
+                path.name,
+                STORAGE_STAGE,
+                f"unreadable alert log ({type(exc).__name__})",
+            )
+            self._quarantine_file(path)
+            return None
+        return [line for line in text.splitlines() if line.strip()]
 
     def load_catalog(self) -> SatelliteCatalog | None:
         """Load the whole cached catalog, or None when nothing is cached.

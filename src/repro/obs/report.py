@@ -66,6 +66,7 @@ def render_trace_report(events: list[dict[str, Any]], *, width: int = 72) -> str
     """Render parsed trace events as the full text report."""
     spans = [e for e in events if e.get("type") == "span"]
     metrics = [e for e in events if e.get("type") == "metric"]
+    alerts = [e for e in events if e.get("type") == "alert"]
     if not spans:
         return "trace: no spans recorded"
 
@@ -141,5 +142,14 @@ def render_trace_report(events: list[dict[str, Any]], *, width: int = 72) -> str
                     f"max={metric.get('max', float('nan')):g}"
                 )
             lines.append(f"  {name} ({kind}): {detail}")
+
+    if alerts:
+        lines.append("")
+        lines.append("Alerts")
+        for alert in alerts:
+            lines.append(
+                f"  [{alert.get('severity', '?')}] {alert.get('kind', '?')}"
+                f" @ {alert.get('when', '?')}: {alert.get('message', '')}"
+            )
 
     return "\n".join(lines)

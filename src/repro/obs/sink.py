@@ -17,7 +17,7 @@ imports ``repro.obs.metrics``).
 from __future__ import annotations
 
 import json
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any, Iterable
 
 from repro.obs.metrics import MetricsRegistry, NullMetrics
 from repro.obs.tracer import NullTracer, Tracer
@@ -35,11 +35,18 @@ TRACE_NAME = "trace"
 def events_jsonl(
     tracer: Tracer | NullTracer,
     metrics: MetricsRegistry | NullMetrics | None = None,
+    extra_events: "Iterable[dict[str, Any]]" = (),
 ) -> str:
-    """Serialize a tracer (and optionally a metrics registry) to JSONL."""
+    """Serialize a tracer (and optionally a metrics registry) to JSONL.
+
+    *extra_events* appends caller-supplied event objects (each must
+    carry a ``type`` key — e.g. the streaming monitor's ``alert``
+    events) after the span and metric lines.
+    """
     lines = [json.dumps(event, sort_keys=True) for event in tracer.events()]
     if metrics is not None:
         lines.extend(json.dumps(event, sort_keys=True) for event in metrics.events())
+    lines.extend(json.dumps(event, sort_keys=True) for event in extra_events)
     return "".join(line + "\n" for line in lines)
 
 
@@ -49,6 +56,7 @@ def write_trace(
     metrics: MetricsRegistry | NullMetrics | None = None,
     *,
     name: str = TRACE_NAME,
+    extra_events: "Iterable[dict[str, Any]]" = (),
 ) -> str | None:
     """Persist one traced run to the store's ``obs/`` directory.
 
@@ -58,5 +66,5 @@ def write_trace(
     """
     if not tracer.enabled:
         return None
-    store.save_trace(events_jsonl(tracer, metrics), name=name)
+    store.save_trace(events_jsonl(tracer, metrics, extra_events), name=name)
     return f"{name}.jsonl"

@@ -1,0 +1,255 @@
+"""Typed alert events and the engine that emits them.
+
+Alerts are the monitor's outward face: NOAA G-scale storm transitions
+(from the online detector) and per-satellite trajectory triggers (from
+:func:`repro.core.triggers.trajectory_triggers`) become frozen
+:class:`Alert` values with a stable identity key, so re-observing the
+same physical event — across chunks, rebuilds, or monitor restarts
+over the same feed — can never page twice.
+
+Each emitted alert flows to three sinks, all optional:
+
+* a ``repro.obs`` metrics counter per alert kind (``alerts.<kind>``);
+* the DataStore's append-only ``alerts/<name>.jsonl`` journal;
+* the engine's in-memory event list, which ``write_trace`` can append
+  to a trace document via ``extra_events``.
+
+The JSONL event schema (one object per line) is::
+
+    {"type": "alert", "kind": "storm.onset", "when": "<ISO-8601>",
+     "severity": 1-4, "message": "...", "catalog_number": int | null,
+     "value": float | null, "g_scale": "G1".."G5" | null}
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Iterable
+
+from repro.core.triggers import TrajectoryTrigger
+from repro.spaceweather.scales import StormLevel, g_scale_for_level
+from repro.stream.detector import StormDelta
+from repro.time import Epoch
+
+if TYPE_CHECKING:
+    from repro.io.store import DataStore
+    from repro.obs.metrics import MetricsRegistry, NullMetrics
+
+__all__ = ["Alert", "AlertEngine", "AlertKind"]
+
+
+class AlertKind(enum.Enum):
+    """What happened, in a stable dotted namespace."""
+
+    STORM_ONSET = "storm.onset"
+    STORM_UPGRADE = "storm.upgrade"
+    STORM_END = "storm.end"
+    ALTITUDE_DROP = "trajectory.altitude-drop"
+    BSTAR_SPIKE = "trajectory.bstar-spike"
+    PERMANENT_DECAY = "decay.permanent"
+
+
+#: Trigger-kind string (core.triggers) → alert kind and severity.
+_TRIGGER_KINDS: dict[str, tuple[AlertKind, int]] = {
+    "altitude-drop": (AlertKind.ALTITUDE_DROP, 2),
+    "bstar-spike": (AlertKind.BSTAR_SPIKE, 2),
+    "permanent-decay": (AlertKind.PERMANENT_DECAY, 3),
+}
+
+
+@dataclass(frozen=True, slots=True)
+class Alert:
+    """One emitted monitoring event."""
+
+    kind: AlertKind
+    #: Event time in *data* time (never wall clock: replays must be
+    #: deterministic and digest-stable).
+    when: Epoch
+    message: str
+    #: 1 (informational) .. 4 (critical).
+    severity: int
+    #: The satellite concerned, for trajectory alerts.
+    catalog_number: int | None = None
+    #: Peak Dst [nT] for storm alerts; trigger magnitude otherwise.
+    value: float | None = None
+    #: NOAA G-scale label for storm alerts ("G1".."G5").
+    g_scale: str | None = None
+
+    @property
+    def key(self) -> tuple[str, int, int, str]:
+        """Identity for dedup: one physical event alerts once."""
+        return (
+            self.kind.value,
+            self.catalog_number if self.catalog_number is not None else -1,
+            int(round(self.when.unix)),
+            self.g_scale or "",
+        )
+
+    def to_event(self) -> dict[str, Any]:
+        """The JSONL/trace event object for this alert."""
+        return {
+            "type": "alert",
+            "kind": self.kind.value,
+            "when": self.when.isoformat(),
+            "severity": self.severity,
+            "message": self.message,
+            "catalog_number": self.catalog_number,
+            "value": self.value,
+            "g_scale": self.g_scale,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_event(), sort_keys=True)
+
+    @classmethod
+    def from_event(cls, event: dict[str, Any]) -> "Alert":
+        """Rebuild an alert from its event object (journal replay)."""
+        return cls(
+            kind=AlertKind(event["kind"]),
+            when=Epoch.from_iso(event["when"]),
+            message=event["message"],
+            severity=int(event["severity"]),
+            catalog_number=event.get("catalog_number"),
+            value=event.get("value"),
+            g_scale=event.get("g_scale"),
+        )
+
+
+def _g_label(level: StormLevel) -> str | None:
+    scale = g_scale_for_level(level)
+    return scale.name if scale is not None else None
+
+
+class AlertEngine:
+    """Dedups, journals, and meters the monitor's alert stream."""
+
+    def __init__(
+        self,
+        store: "DataStore | None" = None,
+        *,
+        metrics: "MetricsRegistry | NullMetrics | None" = None,
+        log_name: str = "alerts",
+    ) -> None:
+        self.store = store
+        self.metrics = metrics
+        self.log_name = log_name
+        self._seen: set[tuple[str, int, int, str]] = set()
+        self._emitted: list[Alert] = []
+
+    @property
+    def emitted(self) -> tuple[Alert, ...]:
+        """Every alert emitted so far, in emission order."""
+        return tuple(self._emitted)
+
+    def events(self) -> list[dict[str, Any]]:
+        """Emitted alerts as trace-appendable event objects."""
+        return [alert.to_event() for alert in self._emitted]
+
+    # --- building alerts --------------------------------------------------
+    def from_storm_delta(self, delta: StormDelta) -> list[Alert]:
+        """Alerts for one batch of storm-episode transitions."""
+        alerts: list[Alert] = []
+        for episode in delta.opened:
+            level = episode.level
+            label = _g_label(level)
+            alerts.append(
+                Alert(
+                    kind=AlertKind.STORM_ONSET,
+                    when=episode.start,
+                    severity=max(1, int(level)),
+                    message=(
+                        f"storm onset: Dst {episode.peak_nt:.0f} nT"
+                        f" ({label or 'sub-G1'})"
+                    ),
+                    value=episode.peak_nt,
+                    g_scale=label,
+                )
+            )
+        for episode, previous in delta.upgraded:
+            level = episode.level
+            label = _g_label(level)
+            alerts.append(
+                Alert(
+                    kind=AlertKind.STORM_UPGRADE,
+                    when=episode.start,
+                    severity=max(1, int(level)),
+                    message=(
+                        f"storm deepened {previous.name.lower()} → "
+                        f"{level.name.lower()}: Dst {episode.peak_nt:.0f} nT"
+                        f" ({label or 'sub-G1'})"
+                    ),
+                    value=episode.peak_nt,
+                    g_scale=label,
+                )
+            )
+        for episode in delta.closed:
+            alerts.append(
+                Alert(
+                    kind=AlertKind.STORM_END,
+                    when=episode.end,
+                    severity=1,
+                    message=(
+                        f"storm ended after {episode.duration_hours} h,"
+                        f" peak {episode.peak_nt:.0f} nT"
+                    ),
+                    value=episode.peak_nt,
+                    g_scale=_g_label(episode.level),
+                )
+            )
+        return alerts
+
+    def from_triggers(
+        self, triggers: "Iterable[TrajectoryTrigger]"
+    ) -> list[Alert]:
+        """Alerts for trajectory triggers clearing the operational bar."""
+        alerts: list[Alert] = []
+        for trigger in triggers:
+            kind, severity = _TRIGGER_KINDS[trigger.kind]
+            if kind is AlertKind.ALTITUDE_DROP:
+                detail = f"{trigger.magnitude:.1f} km below long-term median"
+            elif kind is AlertKind.BSTAR_SPIKE:
+                detail = f"B* at {trigger.magnitude:.1f}x baseline"
+            else:
+                detail = (
+                    f"permanent decay, {trigger.magnitude:.1f} km deficit"
+                    " at end of record"
+                )
+            alerts.append(
+                Alert(
+                    kind=kind,
+                    when=trigger.epoch,
+                    severity=severity,
+                    message=f"satellite {trigger.catalog_number}: {detail}",
+                    catalog_number=trigger.catalog_number,
+                    value=trigger.magnitude,
+                )
+            )
+        return alerts
+
+    # --- emitting ---------------------------------------------------------
+    def emit(self, alerts: Iterable[Alert]) -> list[Alert]:
+        """Emit the not-yet-seen alerts; returns exactly those.
+
+        New alerts are appended to the store's JSONL journal (when a
+        store is attached) and counted per kind on the metrics
+        registry (when attached).
+        """
+        fresh = []
+        for alert in alerts:
+            if alert.key in self._seen:
+                continue
+            self._seen.add(alert.key)
+            fresh.append(alert)
+        if not fresh:
+            return []
+        self._emitted.extend(fresh)
+        if self.metrics is not None:
+            for alert in fresh:
+                self.metrics.counter(f"alerts.{alert.kind.value}").inc()
+        if self.store is not None:
+            self.store.append_alerts(
+                [alert.to_json() for alert in fresh], name=self.log_name
+            )
+        return fresh

@@ -1,0 +1,203 @@
+"""Online storm detection with batch parity.
+
+:class:`OnlineStormDetector` maintains the open-episode state of
+:func:`repro.spaceweather.storms.detect_episodes` *across* chunk
+boundaries, so a monitor can classify each new Dst hour as it arrives
+instead of re-scanning the series.  The invariant it is built around
+(and that ``tests/stream`` asserts property-style):
+
+    after consuming any prefix of an hourly Dst series — in any chunk
+    sizes — ``episodes()`` equals ``detect_episodes`` over that prefix.
+
+The incremental rules are derived from the batch scan:
+
+* a finite sample at/below the threshold extends the open run, or
+  starts one; if the hour gap back to the previous below-sample exceeds
+  ``merge_gap_hours`` the old run is closed first (the batch splitter);
+* a quiet/missing sample closes the open run once it is *provably*
+  non-extendable: any future below-hour lies at least one hour later,
+  so its gap can only be larger — when the gap already reaches
+  ``merge_gap_hours`` at a quiet sample, no later sample can merge
+  across it;
+* the still-open run is reported as a provisional episode, exactly as
+  the batch detector emits a trailing run at end-of-data.
+
+Late (backfill) data invalidates this forward-only state; the monitor
+answers it with :meth:`rebuild` over the merged series — same consume
+loop, so parity holds by construction.  Transition reporting
+(:class:`StormDelta`) is keyed by episode start hour and deduplicated
+across calls, so each onset / level upgrade / end is reported once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.spaceweather.dst import HOUR_S, DstIndex
+from repro.spaceweather.scales import StormLevel
+from repro.spaceweather.storms import StormEpisode
+from repro.time import Epoch
+
+__all__ = ["OnlineStormDetector", "StormDelta"]
+
+
+@dataclass(frozen=True, slots=True)
+class StormDelta:
+    """Episode transitions produced by one batch of samples."""
+
+    #: Episodes reported for the first time (possibly still open).
+    opened: tuple[StormEpisode, ...] = ()
+    #: Episodes whose end became final.
+    closed: tuple[StormEpisode, ...] = ()
+    #: ``(episode, previous_level)`` for episodes whose peak deepened
+    #: into a stormier NOAA band since last reported.
+    upgraded: tuple[tuple[StormEpisode, StormLevel], ...] = ()
+
+    @property
+    def any(self) -> bool:
+        return bool(self.opened or self.closed or self.upgraded)
+
+
+@dataclass(slots=True)
+class _OpenRun:
+    start_t: float
+    last_below_t: float
+    peak_nt: float
+
+
+class OnlineStormDetector:
+    """Incremental equivalent of :func:`detect_episodes`.
+
+    Unlike the science pipeline — whose threshold is a percentile of
+    the *full* series and therefore only meaningful in batch — the
+    online detector runs at a fixed operational threshold (default the
+    NOAA quiet edge, -50 nT), so a sample's classification never
+    changes after the fact.
+    """
+
+    def __init__(
+        self,
+        threshold_nt: float = -50.0,
+        *,
+        merge_gap_hours: int = 0,
+    ) -> None:
+        if merge_gap_hours < 0:
+            raise ValueError(f"merge gap must be non-negative: {merge_gap_hours}")
+        self.threshold_nt = float(threshold_nt)
+        self.merge_gap_hours = int(merge_gap_hours)
+        self._closed: list[StormEpisode] = []
+        self._run: _OpenRun | None = None
+        self._last_time: float | None = None
+        # Transition memory survives rebuilds: alerts fire once.
+        self._reported_level: dict[int, StormLevel] = {}
+        self._reported_closed: set[int] = set()
+
+    # --- consuming data ---------------------------------------------------
+    def observe(self, block: DstIndex) -> StormDelta:
+        """Consume the strictly-newer samples of *block*; returns the
+        episode transitions they caused.  Samples at/before the last
+        consumed hour are skipped (the append-path contract: backfill
+        goes through :meth:`rebuild` instead)."""
+        self._consume(block)
+        return self._diff_report()
+
+    def rebuild(self, dst: DstIndex) -> StormDelta:
+        """Recompute run state from the full merged series (the late-data
+        path).  Episode transitions already reported are not repeated."""
+        self._closed = []
+        self._run = None
+        self._last_time = None
+        self._consume(dst)
+        return self._diff_report()
+
+    # --- querying state ---------------------------------------------------
+    def episodes(self) -> list[StormEpisode]:
+        """All episodes so far, the still-open run included — equal to
+        ``detect_episodes`` over every sample consumed."""
+        out = list(self._closed)
+        if self._run is not None:
+            out.append(self._episode_of(self._run))
+        return out
+
+    @property
+    def open_episode(self) -> StormEpisode | None:
+        """The provisional episode for the currently open run, if any."""
+        return self._episode_of(self._run) if self._run is not None else None
+
+    # --- internals --------------------------------------------------------
+    def _consume(self, block: DstIndex) -> None:
+        series = block.series
+        times = series.times
+        values = series.values
+        with np.errstate(invalid="ignore"):
+            below = np.isfinite(values) & (values <= self.threshold_nt)
+        for i in range(len(values)):
+            t = float(times[i])
+            if self._last_time is not None and t <= self._last_time:
+                continue
+            self._last_time = t
+            if below[i]:
+                self._on_below(t, float(values[i]))
+            else:
+                self._on_quiet(t)
+
+    def _on_below(self, t: float, value: float) -> None:
+        run = self._run
+        if run is None:
+            self._run = _OpenRun(start_t=t, last_below_t=t, peak_nt=value)
+            return
+        gap_hours = round((t - run.last_below_t) / HOUR_S) - 1
+        if gap_hours > self.merge_gap_hours:
+            self._closed.append(self._episode_of(run))
+            self._run = _OpenRun(start_t=t, last_below_t=t, peak_nt=value)
+        else:
+            run.last_below_t = t
+            run.peak_nt = min(run.peak_nt, value)
+
+    def _on_quiet(self, t: float) -> None:
+        run = self._run
+        if run is None:
+            return
+        # Any future below-hour is at least one hour after t, so its gap
+        # back to the run strictly exceeds this one: once the gap at a
+        # quiet sample reaches the merge allowance, the run is final.
+        gap_now = round((t - run.last_below_t) / HOUR_S) - 1
+        if gap_now >= self.merge_gap_hours:
+            self._closed.append(self._episode_of(run))
+            self._run = None
+
+    @staticmethod
+    def _key(episode: StormEpisode) -> int:
+        return int(round(episode.start.unix))
+
+    def _episode_of(self, run: _OpenRun) -> StormEpisode:
+        return StormEpisode(
+            start=Epoch.from_unix(run.start_t),
+            end=Epoch.from_unix(run.last_below_t + HOUR_S),
+            peak_nt=run.peak_nt,
+            duration_hours=int(round((run.last_below_t - run.start_t) / HOUR_S)) + 1,
+        )
+
+    def _diff_report(self) -> StormDelta:
+        opened: list[StormEpisode] = []
+        closed: list[StormEpisode] = []
+        upgraded: list[tuple[StormEpisode, StormLevel]] = []
+        open_key = self._key(self._episode_of(self._run)) if self._run else None
+        for episode in self.episodes():
+            key = self._key(episode)
+            level = episode.level
+            previous = self._reported_level.get(key)
+            if previous is None:
+                opened.append(episode)
+                self._reported_level[key] = level
+            elif level > previous:
+                upgraded.append((episode, previous))
+                self._reported_level[key] = level
+            if key != open_key and key not in self._reported_closed:
+                closed.append(episode)
+                self._reported_closed.add(key)
+        return StormDelta(
+            opened=tuple(opened), closed=tuple(closed), upgraded=tuple(upgraded)
+        )

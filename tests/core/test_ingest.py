@@ -125,6 +125,66 @@ class TestIngestStats:
         assert state.dst.value_at(start) == -20.0
 
 
+class TestDeltaIngest:
+    """The streaming-facing delta variants of the add_* entry points."""
+
+    def test_add_elements_delta_reports_per_satellite_counts(self):
+        state = IngestState()
+        by_satellite = state.add_elements_delta(
+            [record(1, 0.0, 550.0), record(1, 1.0, 550.0), record(2, 0.0, 540.0)]
+        )
+        assert by_satellite == {1: 2, 2: 1}
+        assert state.stats.tle_records_added == 3
+
+    def test_add_elements_delta_counts_only_new_records(self):
+        state = IngestState()
+        state.add_elements([record(1, 0.0, 550.0)])
+        by_satellite = state.add_elements_delta(
+            [record(1, 0.0, 550.0), record(1, 1.0, 550.0)]
+        )
+        assert by_satellite == {1: 1}
+        assert state.stats.tle_records_added == 2
+        assert state.stats.tle_records_duplicate == 1
+
+    def test_add_elements_delta_omits_unchanged_satellites(self):
+        state = IngestState()
+        state.add_elements([record(1, 0.0, 550.0), record(2, 0.0, 540.0)])
+        by_satellite = state.add_elements_delta(
+            [record(1, 0.0, 550.0), record(2, 1.0, 540.0)]
+        )
+        assert by_satellite == {2: 1}
+
+    def test_tle_text_batch_dedup(self):
+        state = IngestState()
+        text = format_tle_block([record(1, 0.0, 550.0), record(1, 1.0, 550.0)])
+        assert state.add_tle_text_delta(text) == {1: 2}
+        # The exact same dump again: batch-level duplicate, zero deltas,
+        # but record-level counters stay truthful.
+        assert state.add_tle_text_delta(text) == {}
+        assert state.stats.tle_batches_duplicate == 1
+        assert state.stats.tle_records_added == 2
+        assert state.stats.tle_records_duplicate == 2
+
+    def test_repeated_corrupt_batch_is_not_re_ledgered(self):
+        state = IngestState()
+        lines = format_tle_block([record(1, 0.0, 550.0)]).splitlines()
+        lines[0] = lines[0][:-1] + "0"  # break the checksum
+        corrupt = "\n".join(lines)
+        state.add_tle_text_delta(corrupt)
+        assert state.stats.tle_parse_errors == 1
+        assert len(state.ledger) == 1
+        state.add_tle_text_delta(corrupt)
+        assert state.stats.tle_parse_errors == 1  # not double-counted
+        assert len(state.ledger) == 1  # not double-ledgered
+        assert state.stats.tle_batches_duplicate == 1
+
+    def test_add_tle_text_still_returns_added_total(self):
+        state = IngestState()
+        text = format_tle_block([record(1, 0.0, 550.0), record(2, 0.0, 540.0)])
+        assert state.add_tle_text(text) == 2
+        assert state.add_tle_text(text) == 0
+
+
 class TestReadiness:
     def test_requires_both_modalities(self):
         state = IngestState()

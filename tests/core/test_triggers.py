@@ -2,7 +2,15 @@
 
 import pytest
 
-from repro.core.triggers import MeasurementCampaign, TriggerPolicy, schedule_campaigns
+from repro.core.decay import DecayAssessment, DecayState
+from repro.core.relations import TrajectoryEvent, TrajectoryEventKind
+from repro.core.triggers import (
+    MeasurementCampaign,
+    TriggerPolicy,
+    TriggerThresholds,
+    schedule_campaigns,
+    trajectory_triggers,
+)
 from repro.errors import PipelineError
 from repro.spaceweather.storms import StormEpisode
 from repro.time import Epoch
@@ -78,3 +86,152 @@ class TestScheduling:
     def test_campaign_duration(self):
         c = schedule_campaigns([episode(10.0, hours=6)])[0]
         assert c.duration_hours == pytest.approx(6.0 + 6.0 + 48.0)
+
+
+class TestSchedulingEdgeCases:
+    def test_zero_duration_episode_still_schedules(self):
+        # A degenerate episode (start == end) must not break the
+        # scheduler or produce inverted windows.
+        campaigns = schedule_campaigns([episode(10.0, hours=0)])
+        assert len(campaigns) == 1
+        c = campaigns[0]
+        assert c.baseline_start < c.active_start <= c.active_end
+        assert c.active_end.hours_since(c.active_start) == pytest.approx(48.0)
+
+    def test_zero_duration_episode_merges_like_any_other(self):
+        campaigns = schedule_campaigns(
+            [episode(10.0, hours=6), episode(10.2, hours=0, peak=-300.0)]
+        )
+        assert len(campaigns) == 1
+        assert campaigns[0].trigger.peak_nt == -300.0
+        assert campaigns[0].priority == 3
+
+    def test_back_to_back_inside_merge_gap(self):
+        # Three storms each starting just inside the previous campaign's
+        # rate-limit window chain into one campaign.
+        policy = TriggerPolicy(min_gap_hours=24.0)
+        storms = [episode(10.0), episode(10.5), episode(11.0)]
+        campaigns = schedule_campaigns(storms, policy)
+        assert len(campaigns) == 1
+        merged = campaigns[0]
+        assert merged.baseline_start == storms[0].start.add_hours(-6.0)
+        # The active window covers through the last storm's tail.
+        assert merged.active_end == storms[-1].end.add_hours(48.0)
+
+    def test_merge_gap_boundary_is_exclusive(self):
+        # A campaign starting exactly min_gap_hours after the previous
+        # one (and clear of its active window) stays separate.
+        policy = TriggerPolicy(
+            baseline_hours=0.0, post_storm_hours=0.0, min_gap_hours=24.0
+        )
+        campaigns = schedule_campaigns(
+            [episode(10.0, hours=1), episode(11.0, hours=1)], policy
+        )
+        assert len(campaigns) == 2
+
+    def test_merge_tie_on_peak_keeps_the_earlier_trigger(self):
+        first = episode(10.0, peak=-120.0)
+        second = episode(10.5, peak=-120.0)
+        campaigns = schedule_campaigns([first, second])
+        assert len(campaigns) == 1
+        assert campaigns[0].trigger == first
+        assert campaigns[0].priority == 2
+
+    def test_priority_survives_merge_with_shallower_followup(self):
+        campaigns = schedule_campaigns(
+            [episode(10.0, peak=-250.0), episode(10.5, peak=-60.0)]
+        )
+        assert len(campaigns) == 1
+        assert campaigns[0].priority == 3  # the deep storm's priority wins
+
+
+def event(
+    catalog: int,
+    kind: TrajectoryEventKind,
+    magnitude: float,
+    day: float = 10.0,
+) -> TrajectoryEvent:
+    return TrajectoryEvent(
+        catalog_number=catalog,
+        kind=kind,
+        epoch=START.add_days(day),
+        magnitude=magnitude,
+    )
+
+
+def assessment(catalog: int, state: DecayState, day: float = 50.0) -> DecayAssessment:
+    return DecayAssessment(
+        catalog_number=catalog,
+        state=state,
+        long_term_median_km=550.0,
+        final_altitude_km=520.0,
+        final_deficit_km=30.0,
+        decay_onset=START.add_days(day)
+        if state is DecayState.PERMANENT_DECAY
+        else None,
+    )
+
+
+class TestTrajectoryTriggers:
+    def test_shallow_events_filtered(self):
+        triggers = trajectory_triggers(
+            [
+                event(1, TrajectoryEventKind.DECAY_ONSET, 1.0),
+                event(2, TrajectoryEventKind.DECAY_ONSET, 3.0),
+                event(3, TrajectoryEventKind.DRAG_SPIKE, 2.0),
+                event(4, TrajectoryEventKind.DRAG_SPIKE, 4.0),
+            ]
+        )
+        assert [(t.catalog_number, t.kind) for t in triggers] == [
+            (2, "altitude-drop"),
+            (4, "bstar-spike"),
+        ]
+
+    def test_thresholds_are_inclusive(self):
+        thresholds = TriggerThresholds(
+            min_altitude_drop_km=2.0, min_bstar_factor=2.5
+        )
+        triggers = trajectory_triggers(
+            [
+                event(1, TrajectoryEventKind.DECAY_ONSET, 2.0),
+                event(2, TrajectoryEventKind.DRAG_SPIKE, 2.5),
+            ],
+            thresholds=thresholds,
+        )
+        assert len(triggers) == 2
+
+    def test_permanent_decay_included_by_default(self):
+        triggers = trajectory_triggers(
+            [],
+            [
+                assessment(1, DecayState.PERMANENT_DECAY),
+                assessment(2, DecayState.STATION_KEPT),
+            ],
+        )
+        assert len(triggers) == 1
+        assert triggers[0].kind == "permanent-decay"
+        assert triggers[0].magnitude == 30.0
+
+    def test_permanent_decay_can_be_excluded(self):
+        triggers = trajectory_triggers(
+            [],
+            [assessment(1, DecayState.PERMANENT_DECAY)],
+            TriggerThresholds(include_permanent_decay=False),
+        )
+        assert triggers == []
+
+    def test_sorted_deterministically(self):
+        triggers = trajectory_triggers(
+            [
+                event(9, TrajectoryEventKind.DRAG_SPIKE, 5.0, day=12.0),
+                event(3, TrajectoryEventKind.DECAY_ONSET, 5.0, day=11.0),
+                event(1, TrajectoryEventKind.DECAY_ONSET, 5.0, day=11.0),
+            ]
+        )
+        assert [t.catalog_number for t in triggers] == [1, 3, 9]
+
+    def test_threshold_validation(self):
+        with pytest.raises(PipelineError):
+            TriggerThresholds(min_altitude_drop_km=-1.0)
+        with pytest.raises(PipelineError):
+            TriggerThresholds(min_bstar_factor=0.5)

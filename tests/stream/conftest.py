@@ -1,0 +1,36 @@
+"""Shared fixtures for the streaming-subsystem suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.simulation.scenario import quickstart_scenario
+from repro.spaceweather.dst import DstIndex
+from repro.time import Epoch
+
+START = Epoch.from_calendar(2023, 1, 1)
+
+
+@pytest.fixture(scope="session")
+def scenario():
+    """The seeded fleet every parity/efficiency test replays."""
+    return quickstart_scenario(seed=2)
+
+
+def hourly(values, start: Epoch = START) -> DstIndex:
+    """A DstIndex from a plain list of hourly values."""
+    return DstIndex.from_hourly(start, np.asarray(values, dtype=np.float64))
+
+
+@pytest.fixture
+def stormy_dst() -> DstIndex:
+    """Quiet → G1 storm (deepening to G2) → quiet → second storm."""
+    values = (
+        [-10.0] * 10
+        + [-60.0, -80.0, -120.0, -130.0, -90.0, -55.0]
+        + [-10.0] * 10
+        + [-70.0] * 3
+        + [-20.0] * 5
+    )
+    return hourly(values)

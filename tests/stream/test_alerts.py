@@ -1,0 +1,113 @@
+"""Unit tests for typed alerts and the alert engine."""
+
+import json
+
+from repro.core.triggers import TrajectoryTrigger
+from repro.io import DataStore
+from repro.obs import MetricsRegistry
+from repro.stream import Alert, AlertEngine, OnlineStormDetector
+from repro.stream.alerts import AlertKind
+from repro.time import Epoch
+
+from tests.stream.conftest import START, hourly
+
+
+def storm_delta(values):
+    detector = OnlineStormDetector(-50.0)
+    return detector.observe(hourly(values))
+
+
+class TestAlertMapping:
+    def test_onset_carries_g_scale_and_severity(self):
+        delta = storm_delta([-10.0, -130.0, -10.0])
+        alerts = AlertEngine().from_storm_delta(delta)
+        onset = [a for a in alerts if a.kind is AlertKind.STORM_ONSET][0]
+        assert onset.severity == 2
+        assert onset.g_scale == "G2"
+        assert onset.value == -130.0
+        assert onset.when == START.add_hours(1.0)
+
+    def test_minor_storm_is_informational(self):
+        # Exactly at the quiet edge: level MINOR maps to G1.
+        delta = storm_delta([-10.0, -50.0, -10.0])
+        onset = AlertEngine().from_storm_delta(delta)[0]
+        assert onset.severity == 1
+        assert onset.g_scale == "G1"
+
+    def test_end_alert_reports_duration(self):
+        delta = storm_delta([-10.0, -80.0, -90.0, -10.0])
+        alerts = AlertEngine().from_storm_delta(delta)
+        end = [a for a in alerts if a.kind is AlertKind.STORM_END][0]
+        assert "2 h" in end.message
+        assert end.severity == 1
+
+    def test_trigger_alerts_name_the_satellite(self):
+        triggers = [
+            TrajectoryTrigger(44713, "altitude-drop", START.add_days(10.0), 5.2),
+            TrajectoryTrigger(44800, "bstar-spike", START.add_days(11.0), 3.1),
+            TrajectoryTrigger(44800, "permanent-decay", START.add_days(12.0), 30.0),
+        ]
+        alerts = AlertEngine().from_triggers(triggers)
+        assert [a.kind for a in alerts] == [
+            AlertKind.ALTITUDE_DROP,
+            AlertKind.BSTAR_SPIKE,
+            AlertKind.PERMANENT_DECAY,
+        ]
+        assert alerts[0].catalog_number == 44713
+        assert "44713" in alerts[0].message
+        assert alerts[2].severity == 3
+
+
+class TestDedup:
+    def test_same_physical_event_alerts_once(self):
+        engine = AlertEngine()
+        delta = storm_delta([-10.0, -130.0, -10.0])
+        first = engine.emit(engine.from_storm_delta(delta))
+        assert len(first) == 2  # onset + end
+        again = engine.emit(engine.from_storm_delta(delta))
+        assert again == []
+        assert len(engine.emitted) == 2
+
+    def test_distinct_events_pass(self):
+        engine = AlertEngine()
+        a = Alert(AlertKind.STORM_ONSET, START, "a", 1, g_scale="G1")
+        b = Alert(AlertKind.STORM_ONSET, START.add_hours(1.0), "b", 1, g_scale="G1")
+        assert len(engine.emit([a, b])) == 2
+
+
+class TestSinks:
+    def test_journal_roundtrip(self, tmp_path):
+        store = DataStore(tmp_path / "cache")
+        engine = AlertEngine(store)
+        delta = storm_delta([-10.0, -130.0, -10.0])
+        emitted = engine.emit(engine.from_storm_delta(delta))
+        lines = store.load_alerts()
+        assert lines is not None and len(lines) == len(emitted)
+        events = [json.loads(line) for line in lines]
+        assert all(event["type"] == "alert" for event in events)
+        rebuilt = [Alert.from_event(event) for event in events]
+        assert [a.to_event() for a in rebuilt] == events
+        assert [a.kind for a in rebuilt] == [a.kind for a in emitted]
+
+    def test_journal_appends_across_emits(self, tmp_path):
+        store = DataStore(tmp_path / "cache")
+        engine = AlertEngine(store)
+        engine.emit([Alert(AlertKind.STORM_ONSET, START, "a", 1)])
+        engine.emit([Alert(AlertKind.STORM_END, START.add_hours(4.0), "b", 1)])
+        assert len(store.load_alerts()) == 2
+
+    def test_metrics_counted_per_kind(self):
+        metrics = MetricsRegistry()
+        engine = AlertEngine(metrics=metrics)
+        delta = storm_delta([-10.0, -130.0, -10.0])
+        engine.emit(engine.from_storm_delta(delta))
+        assert metrics.counter("alerts.storm.onset").value == 1
+        assert metrics.counter("alerts.storm.end").value == 1
+
+    def test_events_are_trace_appendable(self):
+        engine = AlertEngine()
+        engine.emit([Alert(AlertKind.STORM_ONSET, START, "a", 2, g_scale="G1")])
+        events = engine.events()
+        assert events[0]["kind"] == "storm.onset"
+        assert events[0]["severity"] == 2
+        assert Epoch.from_iso(events[0]["when"]) == START

@@ -1,0 +1,112 @@
+"""Unit tests for feed chunks and the batch → feed splitter."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StreamError
+from repro.spaceweather.dst import DstIndex
+from repro.stream import FeedChunk, StreamIngestor, split_feed
+from repro.stream.chunks import dst_block_id
+from repro.time import Epoch
+from repro.tle import SatelliteCatalog
+
+from tests.core.helpers import record
+from tests.stream.conftest import START, hourly
+
+
+class TestFeedChunk:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(StreamError):
+            FeedChunk(chunk_id="x", kind="weather")
+
+    def test_dst_kind_needs_dst_payload(self):
+        with pytest.raises(StreamError):
+            FeedChunk(chunk_id="x", kind="dst")
+        with pytest.raises(StreamError):
+            FeedChunk(chunk_id="x", kind="tle", dst=hourly([-10.0]))
+
+    def test_tle_kind_needs_elements(self):
+        with pytest.raises(StreamError):
+            FeedChunk(chunk_id="x", kind="tle")
+
+    def test_content_ids_are_stable(self):
+        dst = hourly([-10.0, -60.0])
+        assert FeedChunk.of_dst(dst).chunk_id == FeedChunk.of_dst(dst).chunk_id
+        assert FeedChunk.of_dst(dst).chunk_id == dst_block_id(dst)
+        elements = (record(1, 0.0, 550.0), record(1, 1.0, 550.0))
+        assert (
+            FeedChunk.of_elements(elements).chunk_id
+            == FeedChunk.of_elements(list(elements)).chunk_id
+        )
+
+    def test_content_ids_differ_with_content(self):
+        a = FeedChunk.of_dst(hourly([-10.0]))
+        b = FeedChunk.of_dst(hourly([-20.0]))
+        assert a.chunk_id != b.chunk_id
+
+    def test_span(self):
+        dst = hourly([-10.0] * 5)
+        start, end = FeedChunk.of_dst(dst).span
+        assert start == dst.start and end == dst.end
+        chunk = FeedChunk.of_elements([record(2, 3.0, 550.0), record(1, 1.0, 550.0)])
+        start, end = chunk.span
+        assert start == START.add_days(1.0)
+        assert end == START.add_days(3.0)
+
+
+class TestSplitFeed:
+    def _dataset(self, days=4, satellites=3):
+        dst = hourly([-10.0] * 24 * days)
+        catalog = SatelliteCatalog()
+        for number in range(1, satellites + 1):
+            for day in range(days):
+                catalog.add(record(number, float(day), 550.0))
+        return dst, catalog
+
+    def test_rejects_nonpositive_chunk_hours(self):
+        dst, catalog = self._dataset()
+        with pytest.raises(StreamError):
+            split_feed(dst, catalog, chunk_hours=0.0)
+        with pytest.raises(StreamError):
+            split_feed(dst, catalog, chunk_hours=-1.0)
+
+    def test_empty_dataset_yields_no_chunks(self):
+        empty = DstIndex.from_hourly(START, np.zeros(0))
+        assert split_feed(empty, SatelliteCatalog()) == []
+
+    def test_chunks_are_time_ordered(self):
+        dst, catalog = self._dataset()
+        chunks = split_feed(dst, catalog, chunk_hours=24.0)
+        starts = [chunk.span[0].unix for chunk in chunks]
+        assert starts == sorted(starts)
+
+    def test_window_ids_pair_modalities(self):
+        dst, catalog = self._dataset(days=2)
+        ids = [c.chunk_id for c in split_feed(dst, catalog, chunk_hours=24.0)]
+        assert ids == ["dst-000000", "tle-000000", "dst-000001", "tle-000001"]
+
+    def test_replaying_the_feed_reconstructs_the_dataset(self):
+        dst, catalog = self._dataset(days=5, satellites=4)
+        ingestor = StreamIngestor()
+        for chunk in split_feed(dst, catalog, chunk_hours=6.0):
+            delta = ingestor.offer(chunk)
+            assert not delta.duplicate
+        rebuilt = ingestor.state.dst
+        assert len(rebuilt) == len(dst)
+        np.testing.assert_array_equal(rebuilt.series.times, dst.series.times)
+        np.testing.assert_array_equal(rebuilt.series.values, dst.series.values)
+        assert len(ingestor.state.catalog) == len(catalog)
+        assert sorted(ingestor.state.catalog.catalog_numbers) == sorted(
+            catalog.catalog_numbers
+        )
+        for number in catalog.catalog_numbers:
+            assert len(ingestor.state.catalog.get(number)) == len(catalog.get(number))
+
+    def test_chunking_granularity_does_not_change_totals(self):
+        dst, catalog = self._dataset(days=3, satellites=2)
+        for chunk_hours in (1.0, 7.0, 24.0, 1000.0):
+            chunks = split_feed(dst, catalog, chunk_hours=chunk_hours)
+            total_hours = sum(len(c.dst) for c in chunks if c.kind == "dst")
+            total_records = sum(len(c.elements) for c in chunks if c.kind == "tle")
+            assert total_hours == len(dst)
+            assert total_records == catalog.total_records()

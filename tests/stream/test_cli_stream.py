@@ -1,0 +1,74 @@
+"""CLI coverage for the streaming subcommands (replay, watch)."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.io import DataStore
+from repro.spaceweather import DstIndex
+from repro.time import Epoch
+from repro.tle import SatelliteCatalog
+
+from tests.core.helpers import record
+
+
+@pytest.fixture
+def cache(tmp_path):
+    hours = np.arange(24 * 60)
+    values = -10.0 + 3.0 * np.sin(0.7 * hours)
+    values[700:706] = -150.0
+    store = DataStore(tmp_path / "cache")
+    store.save_dst(DstIndex.from_hourly(Epoch.from_calendar(2023, 1, 1), values))
+    catalog = SatelliteCatalog()
+    for day in range(60):
+        catalog.add(record(44713, float(day), 550.0))
+        catalog.add(record(44800, float(day), 550.0 - max(0, day - 30) * 1.5))
+    store.save_catalog(catalog)
+    return store.root
+
+
+class TestReplayCommand:
+    def test_replay_verifies_parity(self, cache, capsys):
+        code = main(
+            [
+                "replay", "--cache", str(cache),
+                "--chunk-hours", "168", "--run-every", "5",
+                "--verify-parity",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "parity OK" in out
+        assert "result digest:" in out
+        assert "storm.onset" in out
+
+    def test_replay_journals_alerts(self, cache, capsys):
+        assert main(["replay", "--cache", str(cache)]) == 0
+        capsys.readouterr()
+        lines = DataStore(cache).load_alerts()
+        assert lines is not None and len(lines) > 0
+
+    def test_replay_without_dataset_fails(self, tmp_path, capsys):
+        assert main(["replay", "--cache", str(tmp_path / "empty")]) == 1
+        assert "no dataset" in capsys.readouterr().err
+
+
+class TestWatchCommand:
+    def test_watch_smoke(self, tmp_path, capsys):
+        code = main(
+            [
+                "watch", "--scenario", "quickstart",
+                "--chunk-hours", "2000", "--max-chunks", "3",
+                "--out", str(tmp_path / "watch-cache"),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "watching scenario 'quickstart'" in out
+        assert "final:" in out
+        assert "alert log:" in out
+
+    def test_watch_handles_truncated_feed(self, capsys):
+        # One dst-only chunk: no analysis possible, but no crash either.
+        assert main(["watch", "--chunk-hours", "1", "--max-chunks", "1"]) == 0
+        assert "before both data modalities" in capsys.readouterr().out

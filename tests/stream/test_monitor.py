@@ -1,0 +1,122 @@
+"""Unit tests for the streaming monitor (delta efficiency, cadence)."""
+
+import pytest
+
+from repro.errors import StreamError
+from repro.io import DataStore
+from repro.stream import FeedChunk, StreamMonitor, split_feed
+from repro.stream.alerts import AlertKind
+from repro.tle import SatelliteCatalog
+
+from tests.core.helpers import record
+from tests.stream.conftest import hourly
+
+
+def small_dataset(satellites=3, days=30, storm_hour=200):
+    values = [-10.0] * 24 * days
+    values[storm_hour : storm_hour + 4] = [-120.0] * 4
+    dst = hourly(values)
+    catalog = SatelliteCatalog()
+    for number in range(1, satellites + 1):
+        for day in range(days):
+            catalog.add(record(number, float(day), 550.0))
+    return dst, catalog
+
+
+class TestLifecycle:
+    def test_run_every_validated(self):
+        with pytest.raises(StreamError):
+            StreamMonitor(run_every=0)
+
+    def test_not_ready_before_both_modalities(self):
+        monitor = StreamMonitor()
+        assert not monitor.ready()
+        monitor.offer(FeedChunk.of_dst(hourly([-10.0] * 24)))
+        assert not monitor.ready()
+        monitor.offer(FeedChunk.of_elements([record(1, 0.0, 550.0)]))
+        assert monitor.ready()
+
+    def test_storm_alerts_fire_without_any_refresh(self):
+        dst, _ = small_dataset()
+        monitor = StreamMonitor()
+        update = monitor.offer(FeedChunk.of_dst(dst))
+        kinds = [a.kind for a in update.alerts]
+        assert AlertKind.STORM_ONSET in kinds
+        assert AlertKind.STORM_END in kinds
+        assert not update.ran
+
+    def test_duplicate_chunk_is_inert(self):
+        dst, catalog = small_dataset()
+        monitor = StreamMonitor(run_every=1)
+        chunk = FeedChunk.of_elements(catalog.all_elements())
+        monitor.offer(FeedChunk.of_dst(dst))
+        first = monitor.step(chunk)
+        assert first.ran
+        again = monitor.step(chunk)
+        assert again.delta.duplicate
+        assert not again.ran  # duplicates do not advance the cadence
+        assert again.alerts == ()
+
+
+class TestCadence:
+    def test_run_every_refreshes_on_schedule(self):
+        from repro.obs import Tracer
+
+        dst, catalog = small_dataset()
+        monitor = StreamMonitor(run_every=2, tracer=Tracer())
+        chunks = split_feed(dst, catalog, chunk_hours=24.0 * 10)
+        updates = monitor.replay(chunks)
+        refreshes = [u for u in updates if u.ran]
+        assert len(refreshes) >= 2
+        assert monitor.pipeline.metrics.counter("stream.refreshes").value == len(
+            refreshes
+        )
+
+    def test_replay_always_ends_refreshed(self):
+        dst, catalog = small_dataset()
+        monitor = StreamMonitor()  # manual cadence
+        updates = monitor.replay(split_feed(dst, catalog, chunk_hours=24.0 * 7))
+        assert updates[-1].ran
+        assert monitor.result is updates[-1].result
+
+
+class TestDeltaEfficiency:
+    def test_new_chunk_recomputes_only_dirty_pairs(self):
+        dst, catalog = small_dataset(satellites=4)
+        monitor = StreamMonitor()
+        monitor.replay(split_feed(dst, catalog, chunk_hours=24.0 * 10))
+        memo = monitor.pipeline.memo
+        hits, misses = memo.hits, memo.misses
+
+        # One new TLE for satellite 2 only.
+        update = monitor.offer(FeedChunk.of_elements([record(2, 30.0, 549.0)]))
+        assert update.delta.dirty_satellites == (2,)
+        refresh = monitor.refresh()
+        assert refresh.plan.dirty == (2,)
+        assert refresh.plan.clean == (1, 3, 4)
+        assert not refresh.plan.storms_dirty
+        assert memo.misses - misses == 1
+        assert memo.hits - hits == 3
+
+    def test_noop_refresh_plan_is_empty(self):
+        dst, catalog = small_dataset()
+        monitor = StreamMonitor()
+        monitor.replay(split_feed(dst, catalog, chunk_hours=24.0 * 10))
+        memo = monitor.pipeline.memo
+        misses = memo.misses
+        refresh = monitor.refresh()
+        assert refresh.plan.dirty == ()
+        assert not refresh.plan.any_dirty
+        assert memo.misses == misses
+
+
+class TestAlertJournal:
+    def test_monitor_journals_alerts_to_its_store(self, tmp_path):
+        dst, catalog = small_dataset()
+        store = DataStore(tmp_path / "cache")
+        monitor = StreamMonitor(store=store)
+        monitor.replay(split_feed(dst, catalog, chunk_hours=24.0 * 10))
+        lines = store.load_alerts()
+        assert lines is not None
+        assert len(lines) == len(monitor.alerts.emitted)
+        assert len(lines) > 0

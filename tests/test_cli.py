@@ -70,6 +70,19 @@ class TestStormsCommand:
         assert main(["storms", "--dst", str(tmp_path / "nope.csv")]) == 1
         assert "error" in capsys.readouterr().err
 
+    def test_percentile_and_threshold_are_mutually_exclusive(self, dst_csv, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                ["storms", "--dst", str(dst_csv),
+                 "--percentile", "99", "--threshold", "-100"]
+            )
+        assert excinfo.value.code == 2
+        assert "not allowed with" in capsys.readouterr().err
+
+    def test_explicit_percentile(self, dst_csv, capsys):
+        assert main(["storms", "--dst", str(dst_csv), "--percentile", "95"]) == 0
+        assert "Storm episodes" in capsys.readouterr().out
+
 
 class TestCleanCommand:
     def test_clean_from_cache(self, cache, capsys):
