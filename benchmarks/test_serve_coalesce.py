@@ -1,0 +1,106 @@
+"""Analysis-service coalescing benchmark.
+
+Measures what refresh coalescing buys a busy service: N clients asking
+for the same dirty session concurrently must cost ONE recompute (the
+other N-1 futures wait on it), versus N recomputes when each request
+arrives alone against a cold memo.  The exactly-one-recompute contract
+is asserted here and the measurements land in ``BENCH_serve.json`` at
+the repository root.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import pathlib
+import time
+
+from repro import analyze
+from repro.exec import result_digest
+from repro.io.csvio import write_dst_csv
+from repro.serve.service import AnalysisService
+from repro.simulation import paper_scenario
+from repro.tle.format import format_tle_block
+
+BENCH_PATH = pathlib.Path(__file__).parent.parent / "BENCH_serve.json"
+
+SATELLITES = 48
+WAITERS = 8
+
+
+def test_serve_coalesce(emit):
+    scenario = paper_scenario(total_satellites=SATELLITES, seed=0)
+    buf = io.StringIO()
+    write_dst_csv(scenario.dst, buf)
+    dst_text = buf.getvalue()
+    tle_text = format_tle_block(list(scenario.catalog.all_elements()))
+
+    svc = AnalysisService()
+    svc.start()
+    try:
+        ok = svc.call(
+            svc.request("ingest-delta", dst_text=dst_text, tle_text=tle_text)
+        )
+        assert ok.ok, ok.error
+
+        # --- N concurrent refreshes: one recompute, N waiters --------
+        started = time.perf_counter()
+        futures = [
+            svc.submit(svc.request("refresh")) for _ in range(WAITERS)
+        ]
+        responses = [f.result(timeout=600) for f in futures]
+        coalesced_s = time.perf_counter() - started
+        assert all(r.ok for r in responses), [r.error for r in responses]
+        digests = {r.result["result_digest"] for r in responses}
+        assert len(digests) == 1
+        session = svc.sessions.peek("default")
+        coalesced_recomputes = session.refreshes
+        assert coalesced_recomputes == 1  # the acceptance contract
+
+        # The one result is the batch result, byte for byte.
+        digest = digests.pop()
+        assert digest == result_digest(analyze(dst_text, tle_text))
+
+        # --- N serial refreshes, cold memo each time: N recomputes ---
+        started = time.perf_counter()
+        for _ in range(WAITERS):
+            svc.memo.clear()
+            response = svc.call(svc.request("refresh"), timeout=600)
+            assert response.ok, response.error
+            assert response.result["result_digest"] == digest
+        serial_s = time.perf_counter() - started
+        serial_recomputes = session.refreshes - coalesced_recomputes
+        assert serial_recomputes == WAITERS
+    finally:
+        svc.shutdown()
+
+    speedup = serial_s / coalesced_s if coalesced_s > 0 else float("inf")
+    payload = {
+        "cpu_count": os.cpu_count(),
+        "satellites": SATELLITES,
+        "concurrent_waiters": WAITERS,
+        "coalesced_wall_s": round(coalesced_s, 4),
+        "coalesced_recomputes": coalesced_recomputes,
+        "coalesced_absorbed": WAITERS - coalesced_recomputes,
+        "serial_wall_s": round(serial_s, 4),
+        "serial_recomputes": serial_recomputes,
+        "speedup": round(speedup, 2),
+        "digest_matches_batch": True,
+    }
+    BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    emit(
+        "serve_coalesce",
+        "\n".join(
+            [
+                f"{WAITERS} refresh requests over {SATELLITES} satellites:",
+                f"  concurrent (coalesced) {coalesced_s:8.3f} s   "
+                f"({coalesced_recomputes} recompute, "
+                f"{WAITERS - coalesced_recomputes} absorbed)",
+                f"  serial (cold memo)     {serial_s:8.3f} s   "
+                f"({serial_recomputes} recomputes)",
+                f"  speedup                {speedup:8.2f} x",
+            ]
+        ),
+    )

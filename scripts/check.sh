@@ -52,4 +52,32 @@ python -m repro.cli replay --cache "$SMOKE_DIR" --chunk-hours 168 \
   | grep -q "parity OK" \
   || { echo "replay digest diverged from the batch run" >&2; exit 1; }
 
+echo "== analysis-service smoke (stdio) =="
+# Drive the long-lived service over its JSON-lines stdio front end
+# with the same dataset: the warm refresh digest must be byte-
+# identical to the one-shot batch digest (see docs/API.md).
+BATCH_DIGEST="$(python -m repro.cli analyze --cache "$SMOKE_DIR" --json \
+  | python -c "import json,sys; print(json.load(sys.stdin)['result_digest'])")"
+SERVE_DIGEST="$(
+  python - "$SMOKE_DIR" <<'PYEOF' | python -m repro.cli serve 2>/dev/null | python -c '
+import json, sys
+for line in sys.stdin:
+    response = json.loads(line)
+    if not response["ok"]:
+        sys.exit("service error: %s" % response["error"])
+    if response["op"] == "refresh":
+        print(response["result"]["result_digest"])
+'
+import json, pathlib, sys
+root = pathlib.Path(sys.argv[1])
+dst = (root / "dst.csv").read_text()
+tle = "".join(p.read_text() for p in sorted((root / "tles").glob("*.tle")))
+print(json.dumps({"op": "ingest-delta", "payload": {"dst_text": dst, "tle_text": tle}}))
+print(json.dumps({"op": "refresh"}))
+print(json.dumps({"op": "shutdown"}))
+PYEOF
+)"
+[ -n "$SERVE_DIGEST" ] && [ "$SERVE_DIGEST" = "$BATCH_DIGEST" ] \
+  || { echo "service refresh digest diverged from the batch run" >&2; exit 1; }
+
 echo "All checks passed."

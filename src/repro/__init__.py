@@ -18,10 +18,19 @@ Quick start — the one-shot facade::
 Hold a :class:`CosmicDance` instead for the incremental fetch → re-run
 loop and the post-run analysis delegates; configure ``workers=4`` (or
 pass a :class:`ParallelExecutor`) to spread the per-satellite fleet
-stage over a process pool.
+stage over a process pool.  For a long-lived multi-consumer server,
+start the analysis service with :func:`repro.serve` — see
+``docs/API.md`` for the full public surface.
 """
 
-from repro.api import analyze, replay
+# The repro.serve *package* must be imported before the serve()
+# *function* is bound below: Python setattr's a submodule onto its
+# package at first import, and doing that import here (while the name
+# still refers to the module) means later `import repro.serve.x`
+# statements resolve from sys.modules and never clobber the function.
+import repro.serve  # noqa: F401  (binds the submodule attribute first)
+
+from repro.api import analyze, replay, serve
 from repro.core.cleaning import CleanedHistory, CleaningReport
 from repro.core.config import CosmicDanceConfig
 from repro.core.decay import DecayAssessment, DecayState
@@ -35,8 +44,11 @@ from repro.exec import (
     result_digest,
 )
 from repro.obs import MetricsRegistry, Tracer
+from repro.inputs import coerce_dst, coerce_elements
 from repro.robustness.health import QuarantineLedger, RunHealth
 from repro.robustness.retry import RetryPolicy
+from repro.serve.protocol import ServeRequest, ServeResponse
+from repro.serve.service import AnalysisService
 from repro.spaceweather.dst import DstIndex
 from repro.spaceweather.scales import StormLevel, classify_dst
 from repro.spaceweather.storms import StormEpisode, detect_episodes
@@ -55,11 +67,12 @@ from repro.tle.elements import MeanElements
 from repro.tle.format import format_tle
 from repro.tle.parse import parse_tle, parse_tle_file
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "Alert",
     "AlertEngine",
+    "AnalysisService",
     "Association",
     "CleanedHistory",
     "CleaningReport",
@@ -81,6 +94,8 @@ __all__ = [
     "RunHealth",
     "SatelliteCatalog",
     "SerialExecutor",
+    "ServeRequest",
+    "ServeResponse",
     "StageMemo",
     "StormEpisode",
     "StormLevel",
@@ -89,14 +104,17 @@ __all__ = [
     "Tracer",
     "TrajectoryEvent",
     "TrajectoryEventKind",
+    "__version__",
     "analyze",
     "classify_dst",
+    "coerce_dst",
+    "coerce_elements",
     "detect_episodes",
     "format_tle",
     "parse_tle",
     "parse_tle_file",
     "replay",
     "result_digest",
+    "serve",
     "split_feed",
-    "__version__",
 ]

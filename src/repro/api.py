@@ -1,4 +1,4 @@
-"""The one-shot public API: :func:`analyze`.
+"""The one-shot public API: :func:`analyze`, :func:`replay`, :func:`serve`.
 
 Most callers want exactly one thing — "here is space-weather data and a
 TLE archive; tell me what the storms did to the fleet".  That is this
@@ -14,33 +14,47 @@ it is no longer the front door::
     result.associations         # trajectory shifts closely after them
     result.permanently_decayed  # the paper's service-hole alarm
 
-Both inputs accept either parsed objects or raw text, so the two lines
-of I/O most scripts start with can be skipped entirely::
+Both inputs accept either parsed objects or raw text (coerced through
+:mod:`repro.inputs`, the shared input-shape contract), so the two
+lines of I/O most scripts start with can be skipped entirely::
 
     result = analyze(
         pathlib.Path("dst.wdc").read_text(),
         pathlib.Path("starlink.tle").read_text(),
     )
+
+For continuous operation — many consumers, incremental data, warm
+caches — hold the long-lived service instead::
+
+    with repro.serve() as service:
+        service.call(service.request("ingest-delta", dst_text=...))
+        response = service.call(service.request("refresh"))
+
+See ``docs/API.md`` for the full public-surface reference and the
+stability policy.
 """
 
 from __future__ import annotations
 
+import os
 from typing import TYPE_CHECKING, Iterable
 
 from repro.core.config import CosmicDanceConfig
 from repro.core.pipeline import CosmicDance, PipelineResult
-from repro.errors import PipelineError
 from repro.exec import Executor, StageMemo
+from repro.inputs import coerce_dst, ingest_elements
 from repro.spaceweather.dst import DstIndex
 from repro.tle.catalog import SatelliteCatalog
 from repro.tle.elements import MeanElements
 
 if TYPE_CHECKING:
     from repro.core.triggers import TriggerThresholds
+    from repro.io.store import DataStore
     from repro.obs.tracer import Tracer
+    from repro.serve.service import AnalysisService
     from repro.stream.monitor import StreamMonitor, StreamUpdate
 
-__all__ = ["analyze", "replay"]
+__all__ = ["analyze", "replay", "serve"]
 
 
 def analyze(
@@ -58,7 +72,9 @@ def analyze(
     text in either WDC exchange format or the repository's CSV layout.
     *elements* is an iterable of :class:`~repro.tle.elements.
     MeanElements`, a :class:`~repro.tle.catalog.SatelliteCatalog`, or
-    raw TLE text (2LE/3LE).
+    raw TLE text (2LE/3LE).  Both are coerced through
+    :mod:`repro.inputs`; a shape neither recognises raises
+    :class:`~repro.errors.InputError`.
 
     *config* tunes thresholds and execution (``workers=4`` parallelises
     the fleet stage); *executor*/*memo* inject a specific
@@ -71,8 +87,8 @@ def analyze(
     :class:`~repro.core.pipeline.CosmicDance` instead.
     """
     pipeline = CosmicDance(config, executor=executor, memo=memo, tracer=tracer)
-    pipeline.ingest.add_dst(_coerce_dst(dst))
-    _ingest_elements(pipeline, elements)
+    pipeline.ingest.add_dst(coerce_dst(dst))
+    ingest_elements(pipeline.ingest, elements, source="analyze()")
     return pipeline.run()
 
 
@@ -105,9 +121,13 @@ def replay(
     from repro.stream.chunks import split_feed
     from repro.stream.monitor import StreamMonitor
 
-    staging = CosmicDance()
-    staging.ingest.add_dst(_coerce_dst(dst))
-    _ingest_elements(staging, elements)
+    # The staging pipeline exists only to coerce/ingest the batch
+    # inputs, but it must still see the caller's config: ingest-
+    # affecting knobs (strictness, thresholds) would otherwise be
+    # silently dropped on this path.
+    staging = CosmicDance(config)
+    staging.ingest.add_dst(coerce_dst(dst))
+    ingest_elements(staging.ingest, elements, source="replay()")
     catalog, dst_index = staging.ingest.require_ready()
 
     monitor = StreamMonitor(
@@ -124,29 +144,46 @@ def replay(
     return monitor, updates
 
 
-def _coerce_dst(dst: DstIndex | str) -> DstIndex:
-    if isinstance(dst, DstIndex):
-        return dst
-    if isinstance(dst, str):
-        if dst.startswith("timestamp,"):
-            from repro.io.csvio import read_dst_csv
+def serve(
+    *,
+    store: "DataStore | str | os.PathLike | None" = None,
+    config: CosmicDanceConfig | None = None,
+    max_sessions: int = 8,
+    queue_limit: int = 64,
+    workers: int = 1,
+    run_every: int | None = None,
+) -> "AnalysisService":
+    """Start a long-lived, multi-session analysis service.
 
-            return read_dst_csv(dst)
-        from repro.spaceweather.wdc import parse_wdc
+    The returned :class:`~repro.serve.service.AnalysisService` holds
+    warm state — a shared :class:`~repro.exec.StageMemo`, per-session
+    :class:`~repro.stream.StreamMonitor` ingest watermarks, open storm
+    episodes, and alert journals — and answers typed
+    :class:`~repro.serve.protocol.ServeRequest` messages
+    (``ingest-delta``, ``refresh``, ``query-episodes``,
+    ``query-alerts``, ``trace-report``, ``health``) through a bounded
+    queue with backpressure; concurrent ``refresh`` requests against
+    the same dirty set coalesce into one recompute.
 
-        return parse_wdc(dst)
-    raise PipelineError(
-        f"dst must be a DstIndex or WDC/CSV text, got {type(dst).__name__}"
+    *store* (a :class:`~repro.io.store.DataStore` or directory path)
+    persists the stage cache and scopes one sub-store per session for
+    alert journals; *max_sessions* bounds resident sessions (LRU
+    eviction); *queue_limit*/*workers* size the request broker;
+    *run_every* sets each session's automatic refresh cadence.
+
+    The service starts accepting immediately and is a context manager —
+    leaving the ``with`` block drains and stops it.  See
+    ``docs/API.md``.
+    """
+    from repro.serve.service import AnalysisService
+
+    service = AnalysisService(
+        config,
+        store=store,
+        max_sessions=max_sessions,
+        queue_limit=queue_limit,
+        workers=workers,
+        run_every=run_every,
     )
-
-
-def _ingest_elements(
-    pipeline: CosmicDance,
-    elements: "Iterable[MeanElements] | SatelliteCatalog | str",
-) -> None:
-    if isinstance(elements, str):
-        pipeline.ingest.add_tle_text(elements, source="analyze()")
-    elif isinstance(elements, SatelliteCatalog):
-        pipeline.ingest.add_elements(elements.all_elements())
-    else:
-        pipeline.ingest.add_elements(elements)
+    service.start()
+    return service

@@ -15,40 +15,64 @@ Subcommands mirror how the original tool is operated:
 * ``replay``   — feed a cached dataset chunk-by-chunk through the
   streaming monitor (optionally verifying batch parity);
 * ``watch``    — run the streaming monitor live over a simulated feed,
-  printing alerts as they fire.
+  printing alerts as they fire;
+* ``serve``    — run the long-lived analysis service (JSON-lines stdio
+  by default, ``--http`` for the HTTP endpoint).
+
+Every subcommand honours ``--json`` (one machine-readable JSON object
+on stdout instead of the human tables) and the exit-code contract:
+**0** success, **1** pipeline/data error, **2** usage error (argparse).
 
 Example session::
 
     cosmicdance simulate --scenario quickstart --out ./cache
     cosmicdance storms  --dst ./cache/dst.csv
-    cosmicdance analyze --cache ./cache
+    cosmicdance analyze --cache ./cache --json
     cosmicdance report  --cache ./cache
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import pathlib
 import sys
-from typing import Sequence
+from typing import Any, Sequence
 
 from repro.core.config import CosmicDanceConfig
 from repro.core.pipeline import CosmicDance
 from repro.core.report import render_table
 from repro.errors import ReproError
-from repro.io.csvio import read_dst_csv
+from repro.inputs import coerce_dst
 from repro.io.store import DataStore
 from repro.robustness.retry import RetryPolicy
 from repro.spaceweather.storms import detect_episodes
-from repro.spaceweather.wdc import parse_wdc
 
 
 def _load_dst(path: pathlib.Path):
-    """Load Dst from CSV or WDC format, sniffing by content."""
-    text = path.read_text()
-    if text.startswith("timestamp,"):
-        return read_dst_csv(text)
-    return parse_wdc(text)
+    """Load Dst from CSV or WDC format (content-sniffed coercion)."""
+    return coerce_dst(path.read_text())
+
+
+def _say(args: argparse.Namespace, text: str = "", *, file: Any = None) -> None:
+    """Print human output — silenced under ``--json``."""
+    if not getattr(args, "json", False):
+        print(text, file=file)
+
+
+def _finish(args: argparse.Namespace, payload: dict[str, Any]) -> int:
+    """End a successful command: emit the JSON payload when asked."""
+    if getattr(args, "json", False):
+        print(json.dumps(payload, sort_keys=True, default=str))
+    return 0
+
+
+def _add_output_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit one machine-readable JSON object instead of tables",
+    )
 
 
 def _add_tle_arguments(parser: argparse.ArgumentParser) -> None:
@@ -162,7 +186,9 @@ def _hydrate(
     return store
 
 
-def _emit_trace(pipeline: CosmicDance, store: DataStore | None) -> str | None:
+def _emit_trace(
+    pipeline: CosmicDance, store: DataStore | None, args: argparse.Namespace
+) -> str | None:
     """Persist (or summarise) an enabled tracer after a run.
 
     With a store the JSONL event stream lands in ``obs/`` and the
@@ -177,8 +203,8 @@ def _emit_trace(pipeline: CosmicDance, store: DataStore | None) -> str | None:
         return write_trace(store, pipeline.tracer, pipeline.metrics)
     events = list(pipeline.tracer.events())
     events.extend(pipeline.metrics.events())
-    print()
-    print(render_trace_report(events))
+    _say(args)
+    _say(args, render_trace_report(events))
     return None
 
 
@@ -211,13 +237,21 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     store = DataStore(args.out)
     store.save_dst(scenario.dst)
     store.save_catalog(scenario.catalog)
-    print(
+    _say(
+        args,
         f"wrote scenario '{scenario.name}' to {args.out}: "
         f"{len(scenario.catalog)} satellites, "
         f"{scenario.catalog.total_records()} TLEs, "
-        f"{len(scenario.dst)} Dst hours"
+        f"{len(scenario.dst)} Dst hours",
     )
-    return 0
+    return _finish(args, {
+        "command": "simulate",
+        "scenario": scenario.name,
+        "out": str(args.out),
+        "satellites": len(scenario.catalog),
+        "tle_records": scenario.catalog.total_records(),
+        "dst_hours": len(scenario.dst),
+    })
 
 
 def _effective_threshold(args: argparse.Namespace, dst) -> float:
@@ -229,11 +263,22 @@ def _effective_threshold(args: argparse.Namespace, dst) -> float:
     return dst.intensity_percentile(percentile)
 
 
+def _episode_row(episode) -> dict[str, Any]:
+    return {
+        "start": episode.start.isoformat(),
+        "end": episode.end.isoformat(),
+        "peak_nt": episode.peak_nt,
+        "duration_hours": episode.duration_hours,
+        "level": episode.level.name,
+    }
+
+
 def cmd_storms(args: argparse.Namespace) -> int:
     dst = _load_dst(args.dst)
     threshold = _effective_threshold(args, dst)
     episodes = detect_episodes(dst, threshold, merge_gap_hours=args.merge_gap)
-    print(
+    _say(
+        args,
         render_table(
             f"Storm episodes at/below {threshold:.1f} nT",
             ("start", "end", "peak nT", "hours", "level"),
@@ -247,9 +292,13 @@ def cmd_storms(args: argparse.Namespace) -> int:
                 )
                 for e in episodes
             ],
-        )
+        ),
     )
-    return 0
+    return _finish(args, {
+        "command": "storms",
+        "threshold_nt": threshold,
+        "episodes": [_episode_row(e) for e in episodes],
+    })
 
 
 def cmd_clean(args: argparse.Namespace) -> int:
@@ -267,7 +316,8 @@ def cmd_clean(args: argparse.Namespace) -> int:
     from repro.core.cleaning import clean_catalog
 
     cleaned, report = clean_catalog(pipeline.ingest.catalog)
-    print(
+    _say(
+        args,
         render_table(
             "Cleaning report",
             ("metric", "count"),
@@ -278,9 +328,45 @@ def cmd_clean(args: argparse.Namespace) -> int:
                 ("kept", report.kept),
                 ("satellites kept", len(cleaned)),
             ],
-        )
+        ),
     )
-    return 0
+    return _finish(args, {
+        "command": "clean",
+        "total_records": report.total_records,
+        "gross_errors": report.gross_errors,
+        "orbit_raising": report.orbit_raising,
+        "kept": report.kept,
+        "satellites_kept": len(cleaned),
+    })
+
+
+def _analysis_payload(result) -> dict[str, Any]:
+    """The shared machine-readable core of analyze/report output."""
+    from repro.exec import result_digest
+
+    return {
+        "result_digest": result_digest(result),
+        "event_threshold_nt": result.event_threshold_nt,
+        "storm_episodes": [_episode_row(e) for e in result.storm_episodes],
+        "associations": [
+            {
+                "satellite": a.event.catalog_number,
+                "kind": a.event.kind.value,
+                "when": a.event.epoch.isoformat(),
+                "lag_hours": a.lag_hours,
+            }
+            for a in result.associations
+        ],
+        "permanent_decays": [
+            {
+                "satellite": a.catalog_number,
+                "final_altitude_km": a.final_altitude_km,
+                "final_deficit_km": a.final_deficit_km,
+            }
+            for a in result.permanently_decayed
+        ],
+        "health": result.health.summary(),
+    }
 
 
 def cmd_analyze(args: argparse.Namespace) -> int:
@@ -288,7 +374,8 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     store = _hydrate(pipeline, args)
     result = pipeline.run()
 
-    print(
+    _say(
+        args,
         render_table(
             f"Storm episodes (>{pipeline.config.event_percentile:.0f}th-ptile, "
             f"threshold {result.event_threshold_nt:.1f} nT)",
@@ -297,10 +384,11 @@ def cmd_analyze(args: argparse.Namespace) -> int:
                 (e.start.isoformat(), f"{e.peak_nt:.0f}", e.duration_hours)
                 for e in result.storm_episodes
             ],
-        )
+        ),
     )
-    print()
-    print(
+    _say(args)
+    _say(
+        args,
         render_table(
             "Trajectory changes happening closely after storms",
             ("satellite", "kind", "when", "lag h"),
@@ -313,11 +401,12 @@ def cmd_analyze(args: argparse.Namespace) -> int:
                 )
                 for a in result.associations
             ],
-        )
+        ),
     )
-    print()
+    _say(args)
     decayed = result.permanently_decayed
-    print(
+    _say(
+        args,
         render_table(
             "Permanent decays",
             ("satellite", "final km", "deficit km"),
@@ -325,14 +414,16 @@ def cmd_analyze(args: argparse.Namespace) -> int:
                 (a.catalog_number, f"{a.final_altitude_km:.1f}", f"{a.final_deficit_km:.1f}")
                 for a in decayed
             ],
-        )
+        ),
     )
-    print()
-    print(_render_health(pipeline))
-    artifact = _emit_trace(pipeline, store)
+    _say(args)
+    _say(args, _render_health(pipeline))
+    artifact = _emit_trace(pipeline, store, args)
     if artifact is not None:
-        print(f"trace written to {args.cache / 'obs' / artifact}")
-    return 0
+        _say(args, f"trace written to {args.cache / 'obs' / artifact}")
+    payload = {"command": "analyze", **_analysis_payload(result)}
+    payload["trace_artifact"] = artifact
+    return _finish(args, payload)
 
 
 def cmd_lifetime(args: argparse.Namespace) -> int:
@@ -344,17 +435,25 @@ def cmd_lifetime(args: argparse.Namespace) -> int:
         max_days=args.max_days,
     )
     if estimate.truncated:
-        print(
+        _say(
+            args,
             f"altitude {args.altitude:.0f} km: no re-entry within "
-            f"{args.max_days:.0f} days"
+            f"{args.max_days:.0f} days",
         )
     else:
-        print(
+        _say(
+            args,
             f"altitude {args.altitude:.0f} km: uncontrolled re-entry in "
             f"{estimate.days:.1f} days "
-            f"(density x{args.density_multiplier:g})"
+            f"(density x{args.density_multiplier:g})",
         )
-    return 0
+    return _finish(args, {
+        "command": "lifetime",
+        "altitude_km": args.altitude,
+        "density_multiplier": args.density_multiplier,
+        "truncated": estimate.truncated,
+        "days": None if estimate.truncated else estimate.days,
+    })
 
 
 def cmd_triggers(args: argparse.Namespace) -> int:
@@ -366,7 +465,8 @@ def cmd_triggers(args: argparse.Namespace) -> int:
     campaigns = schedule_campaigns(
         episodes, TriggerPolicy(min_gap_hours=args.min_gap_hours)
     )
-    print(
+    _say(
+        args,
         render_table(
             f"Measurement campaigns for storms at/below {threshold:.1f} nT",
             ("baseline start", "active start", "active end", "priority", "trigger nT"),
@@ -380,9 +480,22 @@ def cmd_triggers(args: argparse.Namespace) -> int:
                 )
                 for c in campaigns
             ],
-        )
+        ),
     )
-    return 0
+    return _finish(args, {
+        "command": "triggers",
+        "threshold_nt": threshold,
+        "campaigns": [
+            {
+                "baseline_start": c.baseline_start.isoformat(),
+                "active_start": c.active_start.isoformat(),
+                "active_end": c.active_end.isoformat(),
+                "priority": c.priority,
+                "trigger_nt": c.trigger.peak_nt,
+            }
+            for c in campaigns
+        ],
+    })
 
 
 def cmd_report(args: argparse.Namespace) -> int:
@@ -391,17 +504,22 @@ def cmd_report(args: argparse.Namespace) -> int:
     pipeline = _pipeline_for(args)
     store = _hydrate(pipeline, args)
     result = pipeline.run()
-    print(summarize_run(result))
-    artifact = _emit_trace(pipeline, store)
+    summary = summarize_run(result)
+    _say(args, summary)
+    artifact = _emit_trace(pipeline, store, args)
     if artifact is not None:
-        print(f"trace written to {args.cache / 'obs' / artifact}")
-    return 0
+        _say(args, f"trace written to {args.cache / 'obs' / artifact}")
+    payload = {"command": "report", **_analysis_payload(result)}
+    payload["summary"] = summary
+    payload["trace_artifact"] = artifact
+    return _finish(args, payload)
 
 
-def _print_alert(alert) -> None:
-    print(
+def _print_alert(args: argparse.Namespace, alert) -> None:
+    _say(
+        args,
         f"  [{alert.severity}] {alert.when.isoformat()}  "
-        f"{alert.kind.value}: {alert.message}"
+        f"{alert.kind.value}: {alert.message}",
     )
 
 
@@ -425,36 +543,52 @@ def cmd_replay(args: argparse.Namespace) -> int:
     refreshes = sum(1 for u in updates if u.ran)
     for update in updates:
         for alert in update.alerts:
-            _print_alert(alert)
+            _print_alert(args, alert)
     result = monitor.result
     digest = result_digest(result)
     marks = monitor.watermarks
-    print(
+    _say(
+        args,
         f"replayed {len(chunks)} chunk(s) ({args.chunk_hours:g} h each): "
-        f"{refreshes} refresh(es), {len(monitor.alerts.emitted)} alert(s)"
+        f"{refreshes} refresh(es), {len(monitor.alerts.emitted)} alert(s)",
     )
-    print(
+    _say(
+        args,
         f"final state: {len(result.storm_episodes)} storm episodes, "
         f"{len(result.associations)} associations, "
-        f"{len(result.permanently_decayed)} permanent decay(s)"
+        f"{len(result.permanently_decayed)} permanent decay(s)",
     )
-    print(f"watermarks: dst={marks.dst_high}, tle={marks.tle_high}")
-    print(f"alert log: {args.cache / 'alerts' / 'alerts.jsonl'}")
-    print(f"result digest: {digest}")
+    _say(args, f"watermarks: dst={marks.dst_high}, tle={marks.tle_high}")
+    _say(args, f"alert log: {args.cache / 'alerts' / 'alerts.jsonl'}")
+    _say(args, f"result digest: {digest}")
+    payload = {
+        "command": "replay",
+        "chunks": len(chunks),
+        "refreshes": refreshes,
+        "alerts": len(monitor.alerts.emitted),
+        "result_digest": digest,
+        "storm_episodes": len(result.storm_episodes),
+        "associations": len(result.associations),
+        "permanent_decays": len(result.permanently_decayed),
+        "parity_ok": None,
+    }
     if args.verify_parity:
         from repro import analyze
 
         batch = result_digest(
             analyze(dst, catalog, config=CosmicDanceConfig(workers=args.workers))
         )
+        payload["parity_ok"] = batch == digest
         if batch != digest:
             print(
                 f"PARITY FAILED: batch digest {batch} != replay digest {digest}",
                 file=sys.stderr,
             )
+            if getattr(args, "json", False):
+                print(json.dumps(payload, sort_keys=True, default=str))
             return 1
-        print("parity OK: replay digest matches the one-shot batch run")
-    return 0
+        _say(args, "parity OK: replay digest matches the one-shot batch run")
+    return _finish(args, payload)
 
 
 def cmd_watch(args: argparse.Namespace) -> int:
@@ -479,34 +613,49 @@ def cmd_watch(args: argparse.Namespace) -> int:
     if args.max_chunks is not None:
         chunks = chunks[: args.max_chunks]
 
-    print(
+    _say(
+        args,
         f"watching scenario '{scenario.name}' as {len(chunks)} "
-        f"chunk(s) of {args.chunk_hours:g} h"
+        f"chunk(s) of {args.chunk_hours:g} h",
     )
     for chunk in chunks:
         update = monitor.step(chunk)
         for alert in update.alerts:
-            _print_alert(alert)
+            _print_alert(args, alert)
         if update.ran and update.plan is not None:
-            print(
+            _say(
+                args,
                 f"  -- refresh: {len(update.plan.dirty)} dirty / "
-                f"{len(update.plan.clean)} cached satellite(s)"
+                f"{len(update.plan.clean)} cached satellite(s)",
             )
+    payload: dict[str, Any] = {
+        "command": "watch",
+        "scenario": scenario.name,
+        "chunks": len(chunks),
+        "alerts": [alert.to_event() for alert in monitor.alerts.emitted],
+        "final": None,
+    }
     if monitor.ready():
         final = monitor.refresh()
         for alert in final.alerts:
-            _print_alert(alert)
+            _print_alert(args, alert)
         result = final.result
-        print(
+        payload["alerts"] = [alert.to_event() for alert in monitor.alerts.emitted]
+        payload["final"] = {
+            "storm_episodes": len(result.storm_episodes),
+            "permanent_decays": len(result.permanently_decayed),
+        }
+        _say(
+            args,
             f"final: {len(result.storm_episodes)} storm episodes, "
             f"{len(result.permanently_decayed)} permanent decay(s), "
-            f"{len(monitor.alerts.emitted)} alert(s) total"
+            f"{len(monitor.alerts.emitted)} alert(s) total",
         )
     else:
-        print("feed ended before both data modalities arrived; no analysis run")
+        _say(args, "feed ended before both data modalities arrived; no analysis run")
     if store is not None:
-        print(f"alert log: {args.out / 'alerts' / 'alerts.jsonl'}")
-    return 0
+        _say(args, f"alert log: {args.out / 'alerts' / 'alerts.jsonl'}")
+    return _finish(args, payload)
 
 
 def cmd_trace_report(args: argparse.Namespace) -> int:
@@ -519,7 +668,66 @@ def cmd_trace_report(args: argparse.Namespace) -> int:
             f"no trace named {args.name!r} under {args.cache / 'obs'}; "
             "run 'cosmicdance analyze --trace --cache ...' first"
         )
-    print(render_trace_report(parse_events(jsonl)))
+    report = render_trace_report(parse_events(jsonl))
+    _say(args, report)
+    return _finish(args, {
+        "command": "trace-report",
+        "name": args.name,
+        "report": report,
+    })
+
+
+def _host_port(value: str) -> tuple[str, int]:
+    """argparse type for ``--http HOST:PORT`` (usage error on junk)."""
+    host, sep, port = value.rpartition(":")
+    try:
+        if not sep:
+            raise ValueError
+        return (host or "127.0.0.1", int(port))
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected HOST:PORT (e.g. 127.0.0.1:8080), got {value!r}"
+        ) from None
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.api import serve
+
+    service = serve(
+        store=args.cache,
+        max_sessions=args.max_sessions,
+        queue_limit=args.queue_limit,
+        workers=args.workers,
+        run_every=args.run_every,
+    )
+    answered = 0
+    try:
+        if args.http is not None:
+            from repro.serve.http import make_http_server
+
+            server = make_http_server(
+                service, host=args.http[0], port=args.http[1]
+            )
+            host, port = server.server_address[:2]
+            # stderr: stdout stays clean for piped protocol traffic.
+            print(f"serving HTTP on {host}:{port}", file=sys.stderr)
+            try:
+                server.serve_forever()
+            except KeyboardInterrupt:
+                pass
+            finally:
+                server.server_close()
+        else:
+            from repro.serve.stdio import run_stdio
+
+            answered = run_stdio(service, sys.stdin, sys.stdout)
+    finally:
+        service.shutdown()
+    summary = {"command": "serve", "answered": answered}
+    if getattr(args, "json", False):
+        print(json.dumps(summary, sort_keys=True), file=sys.stderr)
+    else:
+        print(f"served {answered} request(s)", file=sys.stderr)
     return 0
 
 
@@ -540,6 +748,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     simulate.add_argument("--seed", type=int, default=2)
     simulate.add_argument("--out", type=pathlib.Path, required=True)
+    _add_output_arguments(simulate)
     simulate.set_defaults(func=cmd_simulate)
 
     storms = subparsers.add_parser("storms", help="list storm episodes")
@@ -547,10 +756,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="Dst file (CSV or WDC format)")
     _add_threshold_arguments(storms)
     storms.add_argument("--merge-gap", type=int, default=0)
+    _add_output_arguments(storms)
     storms.set_defaults(func=cmd_storms)
 
     clean = subparsers.add_parser("clean", help="run the TLE cleaning stage")
     _add_tle_arguments(clean)
+    _add_output_arguments(clean)
     clean.set_defaults(func=cmd_clean)
 
     analyze = subparsers.add_parser("analyze", help="run the full pipeline")
@@ -562,6 +773,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_execution_arguments(analyze)
     _add_tle_arguments(analyze)
+    _add_output_arguments(analyze)
     analyze.set_defaults(func=cmd_analyze)
 
     report = subparsers.add_parser(
@@ -575,6 +787,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_execution_arguments(report)
     _add_tle_arguments(report)
+    _add_output_arguments(report)
     report.set_defaults(func=cmd_report)
 
     lifetime = subparsers.add_parser(
@@ -585,6 +798,7 @@ def build_parser() -> argparse.ArgumentParser:
     lifetime.add_argument("--density-multiplier", type=float, default=1.0,
                           help="thermosphere density factor (storms: 2-5)")
     lifetime.add_argument("--max-days", type=float, default=36525.0)
+    _add_output_arguments(lifetime)
     lifetime.set_defaults(func=cmd_lifetime)
 
     triggers = subparsers.add_parser(
@@ -593,6 +807,7 @@ def build_parser() -> argparse.ArgumentParser:
     triggers.add_argument("--dst", type=pathlib.Path, required=True)
     _add_threshold_arguments(triggers)
     triggers.add_argument("--min-gap-hours", type=float, default=24.0)
+    _add_output_arguments(triggers)
     triggers.set_defaults(func=cmd_triggers)
 
     trace_report = subparsers.add_parser(
@@ -607,6 +822,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--name", default="trace",
         help="trace artifact name (default: trace)",
     )
+    _add_output_arguments(trace_report)
     trace_report.set_defaults(func=cmd_trace_report)
 
     replay = subparsers.add_parser(
@@ -636,6 +852,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="also run the one-shot batch pipeline and fail unless both "
              "result digests match",
     )
+    _add_output_arguments(replay)
     replay.set_defaults(func=cmd_replay)
 
     watch = subparsers.add_parser(
@@ -665,7 +882,42 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", type=pathlib.Path, default=None,
         help="DataStore directory for the alert journal (optional)",
     )
+    _add_output_arguments(watch)
     watch.set_defaults(func=cmd_watch)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the long-lived analysis service (stdio JSON lines, "
+             "or --http)",
+    )
+    serve.add_argument(
+        "--cache", type=pathlib.Path, default=None,
+        help="DataStore directory for the stage cache and per-session "
+             "alert journals (optional; state is in-memory without it)",
+    )
+    serve.add_argument(
+        "--http", type=_host_port, default=None, metavar="HOST:PORT",
+        help="serve HTTP on HOST:PORT (port 0 picks a free port) "
+             "instead of the stdio JSON-lines loop",
+    )
+    serve.add_argument(
+        "--max-sessions", type=int, default=8, metavar="N",
+        help="resident session cap (LRU-evicted beyond it)",
+    )
+    serve.add_argument(
+        "--queue-limit", type=int, default=64, metavar="N",
+        help="pending-request cap before backpressure rejections",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="request worker threads",
+    )
+    serve.add_argument(
+        "--run-every", type=int, default=None, metavar="N",
+        help="auto-refresh sessions every N ingested chunks",
+    )
+    _add_output_arguments(serve)
+    serve.set_defaults(func=cmd_serve)
 
     return parser
 
@@ -675,10 +927,15 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
-    except ReproError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 1
-    except FileNotFoundError as exc:
+    except (ReproError, FileNotFoundError) as exc:
+        if getattr(args, "json", False):
+            print(json.dumps(
+                {
+                    "ok": False,
+                    "error": {"type": type(exc).__name__, "message": str(exc)},
+                },
+                sort_keys=True,
+            ))
         print(f"error: {exc}", file=sys.stderr)
         return 1
 

@@ -61,12 +61,32 @@ class IngestError(PipelineError):
     """Data could not be ingested into the pipeline."""
 
 
+class InputError(IngestError):
+    """A public-API input could not be coerced to its parsed form."""
+
+
 class ExecutionError(PipelineError):
     """Executor misconfiguration or unrecoverable worker-pool failure."""
 
 
 class StreamError(PipelineError):
     """Malformed feed chunk or mis-sequenced streaming-monitor call."""
+
+
+class ServeError(ReproError):
+    """Base class for analysis-service (``repro.serve``) problems."""
+
+
+class ProtocolError(ServeError):
+    """A service request or response violates the wire protocol."""
+
+
+class OverloadedError(ServeError):
+    """The service request queue is full — backpressure; retry later."""
+
+
+class SessionError(ServeError):
+    """Invalid session id or mis-sequenced session operation."""
 
 
 class RobustnessError(ReproError):

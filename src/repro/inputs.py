@@ -1,0 +1,138 @@
+"""Unified public-API input coercion.
+
+Every front door — :func:`repro.analyze`, :func:`repro.replay`, the
+CLI, and the :mod:`repro.serve` analysis service — accepts the same
+loose input shapes: Dst data as a parsed
+:class:`~repro.spaceweather.dst.DstIndex` or raw text (WDC exchange
+format or the repository's CSV layout), and trajectories as parsed
+:class:`~repro.tle.elements.MeanElements`, a
+:class:`~repro.tle.catalog.SatelliteCatalog`, or a raw TLE dump.  This
+module is the single place those shapes are recognised, so the
+accepted-input contract cannot drift between entry points.
+
+Coercion failures raise :class:`~repro.errors.InputError` (a
+:class:`~repro.errors.PipelineError` subclass, so existing handlers
+keep working) with a message naming what was offered.
+
+Raw TLE text is parsed *leniently* by default, exactly like batch
+ingest: malformed records are counted — and ledgered when a
+:class:`~repro.robustness.health.QuarantineLedger` is supplied — not
+fatal.  Pass ``strict=True`` to fail on the first unparsable record.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+from repro.errors import InputError
+from repro.spaceweather.dst import DstIndex
+from repro.tle.catalog import SatelliteCatalog
+from repro.tle.elements import MeanElements
+
+if TYPE_CHECKING:
+    from repro.core.ingest import IngestState
+    from repro.robustness.health import QuarantineLedger
+
+__all__ = ["coerce_dst", "coerce_elements", "ingest_elements"]
+
+
+def coerce_dst(value: "DstIndex | str") -> DstIndex:
+    """Coerce a Dst input to a parsed :class:`DstIndex`.
+
+    Text is sniffed by content: the repository CSV layout starts with
+    its ``timestamp,`` header, anything else is treated as WDC exchange
+    format.  Raises :class:`InputError` for unsupported types or
+    unparsable text.
+    """
+    if isinstance(value, DstIndex):
+        return value
+    if isinstance(value, str):
+        try:
+            if value.startswith("timestamp,"):
+                from repro.io.csvio import read_dst_csv
+
+                return read_dst_csv(value)
+            from repro.spaceweather.wdc import parse_wdc
+
+            return parse_wdc(value)
+        except InputError:
+            raise
+        except Exception as exc:
+            raise InputError(f"unparsable Dst text: {exc}") from exc
+    raise InputError(
+        f"dst must be a DstIndex or WDC/CSV text, got {type(value).__name__}"
+    )
+
+
+def coerce_elements(
+    value: "Iterable[MeanElements] | SatelliteCatalog | str",
+    *,
+    strict: bool = False,
+    ledger: "QuarantineLedger | None" = None,
+    source: str | None = None,
+) -> tuple[MeanElements, ...]:
+    """Coerce a trajectory input to a tuple of :class:`MeanElements`.
+
+    Accepts parsed element sets (any iterable), a whole
+    :class:`SatelliteCatalog`, or a raw TLE dump (2LE or 3LE).  Text is
+    parsed leniently: unparsable records are skipped and — when a
+    *ledger* is given — recorded under *source* (the batch-ingest
+    convention), unless ``strict=True``, which raises
+    :class:`InputError` on the first bad record instead.
+    """
+    if isinstance(value, SatelliteCatalog):
+        return tuple(value.all_elements())
+    if isinstance(value, str):
+        from repro.tle.parse import parse_tle_file
+
+        report = parse_tle_file(value.splitlines())
+        if report.error_count:
+            if strict:
+                line_number, message = report.errors[0]
+                raise InputError(
+                    f"{report.error_count} unparsable TLE record(s) "
+                    f"({report.parsed_count} parsed); first at line "
+                    f"{line_number}: {message}"
+                )
+            if ledger is not None:
+                ledger.quarantine_artifact(
+                    source or "tle-input",
+                    "ingest",
+                    f"{report.error_count} unparsable TLE record(s) "
+                    f"({report.parsed_count} parsed)",
+                )
+        return tuple(report.elements)
+    try:
+        elements = tuple(value)
+    except TypeError:
+        raise InputError(
+            "elements must be MeanElements, a SatelliteCatalog, or TLE "
+            f"text, got {type(value).__name__}"
+        ) from None
+    for element in elements:
+        if not isinstance(element, MeanElements):
+            raise InputError(
+                "elements iterable must contain MeanElements, got "
+                f"{type(element).__name__}"
+            )
+    return elements
+
+
+def ingest_elements(
+    state: "IngestState",
+    value: "Iterable[MeanElements] | SatelliteCatalog | str",
+    *,
+    source: str | None = None,
+) -> dict[int, int]:
+    """Route a trajectory input into an :class:`IngestState`.
+
+    Raw text goes through :meth:`~repro.core.ingest.IngestState.
+    add_tle_text_delta` so parse failures are counted and ledgered
+    exactly as in batch ingest (the quarantine-ledger text is part of
+    :func:`~repro.exec.result_digest`, so this path must stay
+    byte-identical across entry points); parsed inputs merge with
+    record-level dedup.  Returns new-record counts per satellite.
+    """
+    if isinstance(value, str):
+        return state.add_tle_text_delta(value, source=source)
+    return state.add_elements_delta(coerce_elements(value))

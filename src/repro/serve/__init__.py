@@ -1,0 +1,53 @@
+"""``repro.serve`` — the long-lived, multi-session analysis service.
+
+The library's batch front doors (:func:`repro.analyze`,
+:func:`repro.replay`) build a fresh pipeline per call; every caller
+pays a cold start.  This subsystem makes the repo a *server*: one
+resident :class:`AnalysisService` amortises ingest, the stage cache,
+and storm state across many concurrent requests.
+
+Layering (each piece usable on its own):
+
+* :mod:`repro.serve.protocol` — the typed wire protocol:
+  :class:`ServeRequest` / :class:`ServeResponse` with JSON codecs and
+  the operation registry (``ingest-delta``, ``refresh``,
+  ``query-episodes``, ``query-alerts``, ``trace-report``, ``health``);
+* :mod:`repro.serve.session` — :class:`SessionManager`: one warm
+  :class:`~repro.stream.StreamMonitor` per session id, LRU-evicted,
+  each scoped to its own ``sessions/<id>/`` sub-store while sharing
+  the service-wide :class:`~repro.exec.StageMemo`;
+* :mod:`repro.serve.broker` — :class:`RequestBroker`: a bounded queue
+  with backpressure (:class:`~repro.errors.OverloadedError`), worker
+  threads, request coalescing (one recompute, N waiters), and graceful
+  drain/shutdown;
+* :mod:`repro.serve.service` — :class:`AnalysisService`, the
+  composition, metered through :mod:`repro.obs`;
+* :mod:`repro.serve.stdio` / :mod:`repro.serve.http` — the JSON-lines
+  stdio loop and the stdlib ``http.server`` endpoint (CLI:
+  ``cosmicdance serve``).
+
+Start one with the facade::
+
+    with repro.serve(store="./cache") as service:
+        service.call(service.request("ingest-delta", dst_text=text))
+        print(service.call(service.request("refresh")).result)
+
+See ``docs/API.md`` for the protocol reference.
+"""
+
+from __future__ import annotations
+
+from repro.serve.broker import RequestBroker
+from repro.serve.protocol import OPS, ServeRequest, ServeResponse
+from repro.serve.service import AnalysisService
+from repro.serve.session import ServeSession, SessionManager
+
+__all__ = [
+    "AnalysisService",
+    "OPS",
+    "RequestBroker",
+    "ServeRequest",
+    "ServeResponse",
+    "ServeSession",
+    "SessionManager",
+]

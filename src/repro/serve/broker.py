@@ -1,0 +1,206 @@
+"""Bounded request execution: queue, workers, coalescing, drain.
+
+The :class:`RequestBroker` is the service's concurrency engine, kept
+free of any analysis knowledge — it executes opaque thunks:
+
+* **backpressure** — a bounded queue; :meth:`submit` on a full queue
+  raises :class:`~repro.errors.OverloadedError` immediately instead of
+  buffering without limit (the caller's cue to retry later, surfaced
+  as HTTP 503 by the HTTP front-end);
+* **workers** — N daemon threads drain the queue; one slow request
+  never blocks the queue itself, only one worker;
+* **coalescing** — a submission may carry a hashable ``coalesce`` key.
+  While a request with the same key is queued or in flight, further
+  submissions attach to its future instead of enqueuing new work: one
+  compute, N waiters.  The service keys ``refresh`` requests by
+  (session, ingest version), which is what turns N concurrent
+  refreshes of the same dirty set into exactly one recompute;
+* **graceful shutdown** — :meth:`shutdown` stops intake, optionally
+  drains everything already accepted, and joins the workers; pending
+  futures are cancelled on a no-drain shutdown, so no caller ever
+  blocks on a future the broker will never run.
+
+Metering (when a registry is attached): ``serve.queue.depth`` gauge,
+``serve.request.latency_s`` histogram, ``serve.coalesced`` and
+``serve.rejected`` counters.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from typing import Any, Callable, Hashable
+
+from repro.errors import OverloadedError, ServeError
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry, NullMetrics
+
+__all__ = ["RequestBroker"]
+
+#: Wakes idle workers during shutdown.
+_STOP = object()
+
+
+class _Job:
+    """One accepted unit of work and its completion future."""
+
+    __slots__ = ("thunk", "future", "coalesce")
+
+    def __init__(
+        self,
+        thunk: Callable[[], Any],
+        future: "Future[Any]",
+        coalesce: Hashable | None,
+    ) -> None:
+        self.thunk = thunk
+        self.future = future
+        self.coalesce = coalesce
+
+
+class RequestBroker:
+    """A bounded, coalescing thread-pool for service requests."""
+
+    def __init__(
+        self,
+        *,
+        queue_limit: int = 64,
+        workers: int = 1,
+        metrics: "MetricsRegistry | NullMetrics" = NULL_METRICS,
+        name: str = "serve-broker",
+    ) -> None:
+        if queue_limit < 1:
+            raise ServeError(f"queue_limit must be at least 1: {queue_limit}")
+        if workers < 1:
+            raise ServeError(f"workers must be at least 1: {workers}")
+        self.queue_limit = queue_limit
+        self.metrics = metrics
+        self._queue: "queue.Queue[Any]" = queue.Queue(maxsize=queue_limit)
+        self._inflight: dict[Hashable, Future] = {}
+        self._lock = threading.Lock()
+        self._accepting = False
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop, name=f"{name}-{index}", daemon=True
+            )
+            for index in range(workers)
+        ]
+        self._started = False
+
+    # --- lifecycle ----------------------------------------------------------
+    def start(self) -> None:
+        """Start the workers and begin accepting submissions."""
+        if self._started:
+            return
+        self._started = True
+        self._accepting = True
+        for worker in self._workers:
+            worker.start()
+
+    @property
+    def accepting(self) -> bool:
+        return self._accepting
+
+    def shutdown(self, *, drain: bool = True, timeout: float | None = None) -> None:
+        """Stop intake, optionally finish accepted work, join workers.
+
+        With ``drain=True`` (the default) everything already accepted
+        completes first; with ``drain=False`` queued-but-unstarted jobs
+        have their futures cancelled.
+        """
+        self._accepting = False
+        if not self._started:
+            return
+        if not drain:
+            while True:
+                try:
+                    job = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if job is not _STOP:
+                    self._forget(job)
+                    job.future.cancel()
+                self._queue.task_done()
+        for _ in self._workers:
+            self._queue.put(_STOP)
+        for worker in self._workers:
+            worker.join(timeout=timeout)
+        self._started = False
+
+    def drain(self) -> None:
+        """Block until every accepted job has been executed."""
+        self._queue.join()
+
+    # --- submission ---------------------------------------------------------
+    def submit(
+        self,
+        thunk: Callable[[], Any],
+        *,
+        coalesce: Hashable | None = None,
+    ) -> "tuple[Future[Any], bool]":
+        """Accept one unit of work; returns ``(future, coalesced)``.
+
+        With a *coalesce* key, a matching queued/in-flight job absorbs
+        this submission (``coalesced=True``) and its future is shared.
+        Raises :class:`OverloadedError` when the queue is full and
+        :class:`ServeError` after shutdown began.
+        """
+        if not self._accepting:
+            raise ServeError("service is shutting down; request rejected")
+        with self._lock:
+            if coalesce is not None:
+                shared = self._inflight.get(coalesce)
+                if shared is not None:
+                    self.metrics.counter("serve.coalesced").inc()
+                    return shared, True
+            future: "Future[Any]" = Future()
+            job = _Job(thunk, future, coalesce)
+            try:
+                self._queue.put_nowait(job)
+            except queue.Full:
+                self.metrics.counter("serve.rejected").inc()
+                raise OverloadedError(
+                    f"request queue full ({self.queue_limit} pending); "
+                    "retry later"
+                ) from None
+            if coalesce is not None:
+                self._inflight[coalesce] = future
+            self.metrics.gauge("serve.queue.depth").set(self._queue.qsize())
+        return future, False
+
+    # --- internals ----------------------------------------------------------
+    def _forget(self, job: _Job) -> None:
+        """Drop a job's coalesce registration (under no or any lock)."""
+        if job.coalesce is None:
+            return
+        with self._lock:
+            if self._inflight.get(job.coalesce) is job.future:
+                del self._inflight[job.coalesce]
+
+    def _worker_loop(self) -> None:
+        while True:
+            job = self._queue.get()
+            try:
+                if job is _STOP:
+                    return
+                if not job.future.set_running_or_notify_cancel():
+                    self._forget(job)
+                    continue
+                started = time.perf_counter()
+                try:
+                    outcome = job.thunk()
+                except BaseException as exc:  # noqa: BLE001 — forwarded
+                    self._forget(job)
+                    job.future.set_exception(exc)
+                else:
+                    self._forget(job)
+                    job.future.set_result(outcome)
+                finally:
+                    self.metrics.histogram("serve.request.latency_s").observe(
+                        time.perf_counter() - started
+                    )
+                    self.metrics.gauge("serve.queue.depth").set(
+                        self._queue.qsize()
+                    )
+            finally:
+                self._queue.task_done()

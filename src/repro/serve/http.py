@@ -1,0 +1,134 @@
+"""The HTTP front-end: the wire protocol over stdlib ``http.server``.
+
+Two routes, no dependencies:
+
+* ``POST /v1/requests`` — body is one
+  :class:`~repro.serve.protocol.ServeRequest` JSON object; the reply
+  body is the matching :class:`~repro.serve.protocol.ServeResponse`.
+  Status codes map the error taxonomy: 200 for any answered request
+  (including ``ok=false`` analysis failures — the request *was*
+  served), 400 for :class:`~repro.errors.ProtocolError` (the envelope
+  never parsed), 503 for :class:`~repro.errors.OverloadedError`
+  backpressure (with a ``Retry-After`` hint);
+* ``GET /v1/health`` — the ``health`` op for the default session,
+  convenient for load-balancer probes.
+
+:class:`~http.server.ThreadingHTTPServer` gives one thread per
+connection; concurrency control still lives in the service's broker
+(bounded queue + workers), so the HTTP layer cannot over-admit work.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.errors import ProtocolError
+from repro.serve.protocol import DEFAULT_SESSION, ServeRequest
+from repro.serve.service import AnalysisService
+
+__all__ = ["ServeHTTPServer", "make_http_server"]
+
+#: Seconds clients should wait before retrying a 503.
+RETRY_AFTER_S = 1
+
+_MAX_BODY_BYTES = 16 * 1024 * 1024
+
+
+class ServeHTTPServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one :class:`AnalysisService`."""
+
+    daemon_threads = True
+
+    def __init__(self, address: tuple[str, int], service: AnalysisService) -> None:
+        super().__init__(address, _Handler)
+        self.service = service
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: ServeHTTPServer
+    #: Quiet by default; the service meters requests itself.
+    def log_message(self, format: str, *args: object) -> None:  # noqa: A002
+        pass
+
+    # --- plumbing -----------------------------------------------------------
+    def _send_json(
+        self, status: int, payload: dict, *, retry_after: int | None = None
+    ) -> None:
+        body = json.dumps(payload, sort_keys=True).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if retry_after is not None:
+            self.send_header("Retry-After", str(retry_after))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(
+        self, status: int, exc: BaseException, *, retry_after: int | None = None
+    ) -> None:
+        self._send_json(
+            status,
+            {
+                "ok": False,
+                "op": "health",
+                "session": DEFAULT_SESSION,
+                "request_id": "",
+                "error": {"type": type(exc).__name__, "message": str(exc)},
+            },
+            retry_after=retry_after,
+        )
+
+    # --- routes -------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 — http.server contract
+        if self.path.rstrip("/") != "/v1/health":
+            self._send_error_json(
+                404, ProtocolError(f"no such route: GET {self.path}")
+            )
+            return
+        response = self.server.service.call(
+            ServeRequest(op="health", session=DEFAULT_SESSION)
+        )
+        self._send_json(200, response.to_dict())
+
+    def do_POST(self) -> None:  # noqa: N802 — http.server contract
+        if self.path.rstrip("/") != "/v1/requests":
+            self._send_error_json(
+                404, ProtocolError(f"no such route: POST {self.path}")
+            )
+            return
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+        except ValueError:
+            length = -1
+        if length < 0 or length > _MAX_BODY_BYTES:
+            self._send_error_json(
+                400, ProtocolError("missing or unreasonable Content-Length")
+            )
+            return
+        try:
+            request = ServeRequest.from_json(self.rfile.read(length).decode())
+        except ProtocolError as exc:
+            self._send_error_json(400, exc)
+            return
+        response = self.server.service.call(request)
+        if response.error_type == "OverloadedError":
+            self._send_json(
+                503, response.to_dict(), retry_after=RETRY_AFTER_S
+            )
+            return
+        self._send_json(200, response.to_dict())
+
+
+def make_http_server(
+    service: AnalysisService, *, host: str = "127.0.0.1", port: int = 0
+) -> ServeHTTPServer:
+    """Bind (not start) an HTTP server for *service*.
+
+    ``port=0`` picks a free port (read it back from
+    ``server.server_address``) — the shape the tests use.  Call
+    :meth:`~socketserver.BaseServer.serve_forever` to run, and
+    :meth:`~socketserver.BaseServer.shutdown` from another thread to
+    stop.
+    """
+    return ServeHTTPServer((host, port), service)

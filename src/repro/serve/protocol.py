@@ -1,0 +1,240 @@
+"""The service wire protocol: typed requests/responses with JSON codecs.
+
+One :class:`ServeRequest` names an operation from :data:`OPS`, the
+session it acts on, and an op-specific ``payload`` object; one
+:class:`ServeResponse` echoes the request envelope back with either a
+``result`` object (``ok``) or a typed ``error`` (``{"type", "message"}``
+— the exception class name, so callers can branch without parsing
+message text).  Both sides are frozen dataclasses; the JSON codecs are
+the only wire format, shared verbatim by the stdio and HTTP front-ends.
+
+Malformed envelopes raise :class:`~repro.errors.ProtocolError` — the
+*caller's* fault, answered without touching any session state.
+
+The wire schema (one JSON object per message)::
+
+    request:  {"op": "<OPS>", "session": "default", "request_id": "r1",
+               "payload": {...}}
+    response: {"ok": true,  "op": ..., "session": ..., "request_id": ...,
+               "result": {...}}
+              {"ok": false, "op": ..., "session": ..., "request_id": ...,
+               "error": {"type": "IngestError", "message": "..."}}
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Any, Mapping
+
+from repro.errors import ProtocolError
+
+__all__ = ["OPS", "ServeRequest", "ServeResponse"]
+
+#: Every operation the service answers, in documentation order.
+OPS: tuple[str, ...] = (
+    "ingest-delta",
+    "refresh",
+    "query-episodes",
+    "query-alerts",
+    "trace-report",
+    "health",
+    "shutdown",
+)
+
+#: Filesystem-safe session ids (sessions scope DataStore directories).
+_SESSION_ID = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
+
+#: The session requests land on when they don't name one.
+DEFAULT_SESSION = "default"
+
+
+def validate_session_id(session: str) -> str:
+    """Check a session id is non-empty and filesystem-safe."""
+    if not isinstance(session, str) or not _SESSION_ID.match(session):
+        raise ProtocolError(
+            f"invalid session id {session!r}: need 1-64 chars from "
+            "[A-Za-z0-9._-], not starting with a punctuation character"
+        )
+    return session
+
+
+def _freeze_payload(payload: Any) -> Mapping[str, Any]:
+    if payload is None:
+        return MappingProxyType({})
+    if not isinstance(payload, Mapping):
+        raise ProtocolError(
+            f"payload must be a JSON object, got {type(payload).__name__}"
+        )
+    for key in payload:
+        if not isinstance(key, str):
+            raise ProtocolError(f"payload keys must be strings, got {key!r}")
+    return MappingProxyType(dict(payload))
+
+
+@dataclass(frozen=True, slots=True)
+class ServeRequest:
+    """One operation request addressed to a session."""
+
+    op: str
+    session: str = DEFAULT_SESSION
+    #: Caller-chosen correlation id, echoed verbatim in the response.
+    request_id: str = ""
+    #: Op-specific arguments (read-only mapping; see ``docs/API.md``).
+    payload: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.op not in OPS:
+            raise ProtocolError(
+                f"unknown op {self.op!r}; expected one of {', '.join(OPS)}"
+            )
+        validate_session_id(self.session)
+        if not isinstance(self.request_id, str):
+            raise ProtocolError("request_id must be a string")
+        object.__setattr__(self, "payload", _freeze_payload(self.payload))
+
+    # --- codecs -----------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "op": self.op,
+            "session": self.session,
+            "request_id": self.request_id,
+            "payload": dict(self.payload),
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "ServeRequest":
+        if not isinstance(data, Mapping):
+            raise ProtocolError(
+                f"request must be a JSON object, got {type(data).__name__}"
+            )
+        unknown = set(data) - {"op", "session", "request_id", "payload"}
+        if unknown:
+            raise ProtocolError(
+                f"unknown request field(s): {', '.join(sorted(unknown))}"
+            )
+        if "op" not in data:
+            raise ProtocolError("request is missing the 'op' field")
+        return cls(
+            op=data["op"],
+            session=data.get("session", DEFAULT_SESSION),
+            request_id=data.get("request_id", ""),
+            payload=data.get("payload"),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ServeRequest":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ProtocolError(f"request is not valid JSON: {exc}") from exc
+        return cls.from_dict(data)
+
+
+@dataclass(frozen=True, slots=True)
+class ServeResponse:
+    """The answer to one :class:`ServeRequest`."""
+
+    ok: bool
+    op: str
+    session: str = DEFAULT_SESSION
+    request_id: str = ""
+    #: Op-specific result object (``ok`` responses only).
+    result: Mapping[str, Any] | None = None
+    #: ``{"type": <exception class>, "message": <str>}`` on failure.
+    error: Mapping[str, Any] | None = None
+
+    def __post_init__(self) -> None:
+        if self.ok == (self.error is not None):
+            raise ProtocolError(
+                "a response carries a result when ok, an error when not"
+            )
+        if self.result is not None:
+            object.__setattr__(self, "result", _freeze_payload(self.result))
+        if self.error is not None:
+            object.__setattr__(self, "error", _freeze_payload(self.error))
+
+    @property
+    def error_type(self) -> str | None:
+        """The failing exception's class name (None when ok)."""
+        return None if self.error is None else self.error.get("type")
+
+    # --- constructors -------------------------------------------------------
+    @classmethod
+    def success(
+        cls, request: ServeRequest, result: Mapping[str, Any]
+    ) -> "ServeResponse":
+        return cls(
+            ok=True,
+            op=request.op,
+            session=request.session,
+            request_id=request.request_id,
+            result=result,
+        )
+
+    @classmethod
+    def failure(
+        cls, request: ServeRequest, exc: BaseException
+    ) -> "ServeResponse":
+        return cls(
+            ok=False,
+            op=request.op,
+            session=request.session,
+            request_id=request.request_id,
+            error={"type": type(exc).__name__, "message": str(exc)},
+        )
+
+    # --- codecs -----------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        data: dict[str, Any] = {
+            "ok": self.ok,
+            "op": self.op,
+            "session": self.session,
+            "request_id": self.request_id,
+        }
+        if self.result is not None:
+            data["result"] = dict(self.result)
+        if self.error is not None:
+            data["error"] = dict(self.error)
+        return data
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "ServeResponse":
+        if not isinstance(data, Mapping):
+            raise ProtocolError(
+                f"response must be a JSON object, got {type(data).__name__}"
+            )
+        unknown = set(data) - {
+            "ok", "op", "session", "request_id", "result", "error",
+        }
+        if unknown:
+            raise ProtocolError(
+                f"unknown response field(s): {', '.join(sorted(unknown))}"
+            )
+        for required in ("ok", "op"):
+            if required not in data:
+                raise ProtocolError(f"response is missing the {required!r} field")
+        return cls(
+            ok=bool(data["ok"]),
+            op=data["op"],
+            session=data.get("session", DEFAULT_SESSION),
+            request_id=data.get("request_id", ""),
+            result=data.get("result"),
+            error=data.get("error"),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ServeResponse":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ProtocolError(f"response is not valid JSON: {exc}") from exc
+        return cls.from_dict(data)

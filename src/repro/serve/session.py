@@ -1,0 +1,148 @@
+"""Per-session warm state: one streaming monitor per consumer.
+
+A session is the unit of isolation the service offers: each session id
+owns a :class:`~repro.stream.StreamMonitor` (its own ingest
+watermarks, online storm detector, delta planner, and alert journal)
+plus a lock serialising work on it — two requests against the *same*
+session never interleave, while different sessions proceed
+concurrently on the broker's workers.
+
+What is shared, deliberately, is the service-wide
+:class:`~repro.exec.StageMemo`: stage outcomes are content-addressed
+by (history digest, config digest), so a satellite computed for one
+session is a warm hit for every other session analysing the same
+records — the cross-consumer amortisation the service exists for.
+
+Sessions are LRU-evicted beyond ``max_sessions``.  Eviction is safe by
+construction: the shared memo (and its write-through store, when the
+service has one) survives, so a re-created session re-ingests cheaply
+and recomputes nothing that is still cached.  Each session is scoped
+to its own ``sessions/<id>/`` sub-store for the alert journal, so one
+consumer's alert history never mixes with another's.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Callable
+
+from repro.core.config import CosmicDanceConfig
+from repro.errors import SessionError
+from repro.serve.protocol import validate_session_id
+from repro.stream.monitor import StreamMonitor
+
+if TYPE_CHECKING:
+    from repro.exec import StageMemo
+    from repro.io.store import DataStore
+
+__all__ = ["ServeSession", "SessionManager"]
+
+
+class ServeSession:
+    """One consumer's warm monitor plus its bookkeeping."""
+
+    def __init__(self, session_id: str, monitor: StreamMonitor) -> None:
+        self.session_id = session_id
+        self.monitor = monitor
+        #: Serialises all work against this session's monitor.
+        self.lock = threading.Lock()
+        #: Monotonic ingest version: bumps whenever a chunk changes
+        #: pipeline input.  ``refresh`` requests coalesce on (session,
+        #: version) — equal versions see identical dirty sets.
+        self.version = 0
+        #: Analysis refreshes actually computed (coalesced waiters
+        #: share one increment).
+        self.refreshes = 0
+        #: Requests handled (any op).
+        self.requests = 0
+        #: The latest refresh's result digest (None before the first).
+        self.last_digest: str | None = None
+
+    def bump(self) -> int:
+        """Record an input-changing ingest; returns the new version."""
+        self.version += 1
+        return self.version
+
+
+class SessionManager:
+    """Resident sessions keyed by id, LRU-evicted beyond capacity."""
+
+    def __init__(
+        self,
+        config: CosmicDanceConfig | None = None,
+        *,
+        memo: "StageMemo | None" = None,
+        store: "DataStore | None" = None,
+        max_sessions: int = 8,
+        run_every: int | None = None,
+        monitor_factory: "Callable[[str], StreamMonitor] | None" = None,
+    ) -> None:
+        if max_sessions < 1:
+            raise SessionError(f"max_sessions must be at least 1: {max_sessions}")
+        self.config = config or CosmicDanceConfig()
+        self.memo = memo
+        self.store = store
+        self.max_sessions = max_sessions
+        self.run_every = run_every
+        self._monitor_factory = monitor_factory or self._default_monitor
+        self._sessions: "OrderedDict[str, ServeSession]" = OrderedDict()
+        self._lock = threading.Lock()
+        #: Sessions dropped by LRU eviction since construction.
+        self.evicted = 0
+
+    # --- construction -------------------------------------------------------
+    def _session_store(self, session_id: str) -> "DataStore | None":
+        """The per-session sub-store (``sessions/<id>/``), if any."""
+        if self.store is None:
+            return None
+        from repro.io.store import DataStore
+
+        return DataStore(self.store.root / "sessions" / session_id)
+
+    def _default_monitor(self, session_id: str) -> StreamMonitor:
+        return StreamMonitor(
+            self.config,
+            memo=self.memo,
+            store=self._session_store(session_id),
+            run_every=self.run_every,
+        )
+
+    # --- access -------------------------------------------------------------
+    def get(self, session_id: str) -> ServeSession:
+        """The session for *session_id*, created on first use.
+
+        Access marks the session most-recently-used; creation beyond
+        ``max_sessions`` evicts the least-recently-used one.
+        """
+        validate_session_id(session_id)
+        with self._lock:
+            session = self._sessions.get(session_id)
+            if session is not None:
+                self._sessions.move_to_end(session_id)
+                return session
+            session = ServeSession(session_id, self._monitor_factory(session_id))
+            self._sessions[session_id] = session
+            while len(self._sessions) > self.max_sessions:
+                evicted_id, _ = self._sessions.popitem(last=False)
+                self.evicted += 1
+            return session
+
+    def peek(self, session_id: str) -> ServeSession | None:
+        """The resident session, or None — no creation, no LRU touch."""
+        with self._lock:
+            return self._sessions.get(session_id)
+
+    def drop(self, session_id: str) -> bool:
+        """Forget one session (its shared-memo entries survive)."""
+        with self._lock:
+            return self._sessions.pop(session_id, None) is not None
+
+    def ids(self) -> tuple[str, ...]:
+        """Resident session ids, least- to most-recently used."""
+        with self._lock:
+            return tuple(self._sessions)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._sessions)

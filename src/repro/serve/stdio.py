@@ -1,0 +1,71 @@
+"""The JSON-lines stdio front-end: one request per line, one response.
+
+The simplest possible transport — a subprocess-friendly loop reading
+:class:`~repro.serve.protocol.ServeRequest` JSON from a text stream
+and writing one :class:`~repro.serve.protocol.ServeResponse` JSON line
+per request, in request order.  It is what ``cosmicdance serve``
+speaks by default, and what ``scripts/check.sh`` drives for the
+service smoke test.
+
+Error discipline: a malformed line gets an ``ok=false`` response on
+stdout (with ``op="health"`` as a neutral envelope, since the op could
+not be parsed) and the loop continues — a client typo must never kill
+a server holding warm state.  A ``shutdown`` request is answered, then
+the loop drains and returns; EOF does the same without the answer.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import TextIO
+
+from repro.errors import ProtocolError
+from repro.serve.protocol import DEFAULT_SESSION, ServeRequest, ServeResponse
+from repro.serve.service import AnalysisService
+
+__all__ = ["run_stdio"]
+
+
+def _protocol_failure(exc: ProtocolError) -> ServeResponse:
+    """An error response for a line that never became a request."""
+    return ServeResponse(
+        ok=False,
+        op="health",
+        session=DEFAULT_SESSION,
+        request_id="",
+        error={"type": type(exc).__name__, "message": str(exc)},
+    )
+
+
+def run_stdio(
+    service: AnalysisService,
+    stdin: TextIO,
+    stdout: TextIO,
+) -> int:
+    """Serve JSON-lines requests from *stdin* until shutdown or EOF.
+
+    Returns the number of requests answered.  The caller owns the
+    service lifecycle: this function does not call
+    :meth:`~repro.serve.service.AnalysisService.shutdown` (the CLI
+    does, so embedders can run several loops against one service).
+    """
+    answered = 0
+    for line in stdin:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            request = ServeRequest.from_json(line)
+        except ProtocolError as exc:
+            response = _protocol_failure(exc)
+        else:
+            response = service.call(request)
+        stdout.write(response.to_json() + "\n")
+        try:
+            stdout.flush()
+        except (ValueError, io.UnsupportedOperation):
+            pass
+        answered += 1
+        if response.ok and request.op == "shutdown":
+            break
+    return answered

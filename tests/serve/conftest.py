@@ -1,0 +1,61 @@
+"""Shared fixtures for the analysis-service suite."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.io.csvio import write_dst_csv
+from repro.serve.service import AnalysisService
+from repro.tle import SatelliteCatalog
+from repro.tle.format import format_tle_block
+
+from tests.core.helpers import record
+from tests.stream.conftest import hourly
+
+
+def small_dataset(satellites=3, days=30, storm_hour=200):
+    """A tiny stormy fleet — fast enough for per-test pipeline runs."""
+    values = [-10.0] * 24 * days
+    values[storm_hour : storm_hour + 4] = [-120.0] * 4
+    dst = hourly(values)
+    catalog = SatelliteCatalog()
+    for number in range(1, satellites + 1):
+        for day in range(days):
+            catalog.add(record(number, float(day), 550.0))
+    return dst, catalog
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return small_dataset()
+
+
+@pytest.fixture(scope="module")
+def dst_text(dataset):
+    buf = io.StringIO()
+    write_dst_csv(dataset[0], buf)
+    return buf.getvalue()
+
+
+@pytest.fixture(scope="module")
+def tle_text(dataset):
+    return format_tle_block(list(dataset[1].all_elements()))
+
+
+@pytest.fixture
+def service():
+    svc = AnalysisService()
+    svc.start()
+    yield svc
+    svc.shutdown()
+
+
+def ingest(svc: AnalysisService, dst_text: str, tle_text: str, **kwargs):
+    """Feed both modalities into a service session, asserting success."""
+    response = svc.call(
+        svc.request("ingest-delta", dst_text=dst_text, tle_text=tle_text, **kwargs)
+    )
+    assert response.ok, response.error
+    return response

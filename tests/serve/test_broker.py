@@ -1,0 +1,179 @@
+"""Request-broker unit tests: queueing, coalescing, backpressure, drain."""
+
+import threading
+
+import pytest
+
+from repro.errors import OverloadedError, ServeError
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.broker import RequestBroker
+
+
+def started(**kwargs) -> RequestBroker:
+    broker = RequestBroker(**kwargs)
+    broker.start()
+    return broker
+
+
+def counter_value(metrics: MetricsRegistry, name: str) -> float:
+    for sample in metrics.snapshot():
+        if sample.name == name:
+            return sample.value
+    return 0.0
+
+
+class TestExecution:
+    def test_submit_runs_and_resolves(self):
+        broker = started()
+        try:
+            future, coalesced = broker.submit(lambda: 41 + 1)
+            assert not coalesced
+            assert future.result(timeout=5) == 42
+        finally:
+            broker.shutdown()
+
+    def test_thunk_exception_lands_on_the_future(self):
+        broker = started()
+        try:
+            future, _ = broker.submit(lambda: 1 / 0)
+            with pytest.raises(ZeroDivisionError):
+                future.result(timeout=5)
+        finally:
+            broker.shutdown()
+
+    def test_worker_survives_a_failing_thunk(self):
+        broker = started(workers=1)
+        try:
+            bad, _ = broker.submit(lambda: 1 / 0)
+            good, _ = broker.submit(lambda: "still alive")
+            with pytest.raises(ZeroDivisionError):
+                bad.result(timeout=5)
+            assert good.result(timeout=5) == "still alive"
+        finally:
+            broker.shutdown()
+
+    def test_limits_validated(self):
+        with pytest.raises(ServeError):
+            RequestBroker(queue_limit=0)
+        with pytest.raises(ServeError):
+            RequestBroker(workers=0)
+
+
+class TestCoalescing:
+    def test_same_key_shares_one_future(self):
+        gate = threading.Event()
+        runs = []
+
+        def slow():
+            gate.wait(5)
+            runs.append(1)
+            return "computed"
+
+        broker = started(workers=1)
+        try:
+            first, c1 = broker.submit(slow, coalesce=("refresh", "s", 0))
+            second, c2 = broker.submit(
+                lambda: runs.append(2), coalesce=("refresh", "s", 0)
+            )
+            assert (c1, c2) == (False, True)
+            assert second is first
+            gate.set()
+            assert first.result(timeout=5) == "computed"
+            broker.drain()
+            assert runs == [1]  # the absorbed thunk never ran
+        finally:
+            broker.shutdown()
+
+    def test_different_keys_do_not_coalesce(self):
+        broker = started()
+        try:
+            a, _ = broker.submit(lambda: "a", coalesce=("refresh", "s", 0))
+            b, coalesced = broker.submit(lambda: "b", coalesce=("refresh", "s", 1))
+            assert not coalesced
+            assert a is not b
+            assert {a.result(5), b.result(5)} == {"a", "b"}
+        finally:
+            broker.shutdown()
+
+    def test_completed_key_recomputes(self):
+        broker = started()
+        try:
+            first, _ = broker.submit(lambda: 1, coalesce="k")
+            assert first.result(timeout=5) == 1
+            broker.drain()
+            second, coalesced = broker.submit(lambda: 2, coalesce="k")
+            assert not coalesced
+            assert second.result(timeout=5) == 2
+        finally:
+            broker.shutdown()
+
+    def test_coalesce_metrics_counted(self):
+        metrics = MetricsRegistry()
+        gate = threading.Event()
+        broker = started(workers=1, metrics=metrics)
+        try:
+            broker.submit(lambda: gate.wait(5), coalesce="k")
+            broker.submit(lambda: None, coalesce="k")
+            broker.submit(lambda: None, coalesce="k")
+            gate.set()
+            broker.drain()
+            assert counter_value(metrics, "serve.coalesced") == 2.0
+        finally:
+            broker.shutdown()
+
+
+class TestBackpressure:
+    def test_full_queue_rejects_immediately(self):
+        gate = threading.Event()
+        metrics = MetricsRegistry()
+        broker = started(queue_limit=1, workers=1, metrics=metrics)
+        try:
+            blocker, _ = broker.submit(lambda: gate.wait(5))
+            # The worker may or may not have dequeued the blocker yet;
+            # fill whatever queue capacity remains, then overflow it.
+            pending = []
+            with pytest.raises(OverloadedError):
+                for _ in range(3):
+                    pending.append(broker.submit(lambda: None)[0])
+            assert counter_value(metrics, "serve.rejected") == 1.0
+            gate.set()
+            assert blocker.result(timeout=5)
+        finally:
+            broker.shutdown()
+
+    def test_rejected_after_shutdown_begins(self):
+        broker = started()
+        broker.shutdown()
+        with pytest.raises(ServeError):
+            broker.submit(lambda: None)
+
+
+class TestShutdown:
+    def test_drain_completes_accepted_work(self):
+        broker = started(workers=2)
+        futures = [broker.submit(lambda i=i: i)[0] for i in range(10)]
+        broker.shutdown(drain=True)
+        assert sorted(f.result(timeout=0) for f in futures) == list(range(10))
+
+    def test_no_drain_cancels_queued_work(self):
+        entered = threading.Event()
+        broker = started(queue_limit=8, workers=1)
+
+        def blocker():
+            entered.set()
+            threading.Event().wait(0.5)  # hold the only worker busy
+            return "ran"
+
+        running, _ = broker.submit(blocker)
+        assert entered.wait(5)
+        queued = [broker.submit(lambda: "late")[0] for _ in range(4)]
+        # The worker is mid-blocker, so everything above is still
+        # queued when shutdown empties the queue.
+        broker.shutdown(drain=False)
+        assert running.result(timeout=0) == "ran"
+        assert all(f.cancelled() for f in queued)
+
+    def test_shutdown_is_idempotent(self):
+        broker = started()
+        broker.shutdown()
+        broker.shutdown()

@@ -1,0 +1,153 @@
+"""Front-end tests: the stdio JSON-lines loop and the HTTP endpoint."""
+
+import io
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.serve.http import make_http_server
+from repro.serve.protocol import ServeRequest, ServeResponse
+from repro.serve.stdio import run_stdio
+
+
+def lines(*requests) -> io.StringIO:
+    return io.StringIO(
+        "\n".join(
+            r if isinstance(r, str) else json.dumps(r) for r in requests
+        )
+        + "\n"
+    )
+
+
+def responses_of(out: io.StringIO) -> list[ServeResponse]:
+    return [
+        ServeResponse.from_json(line)
+        for line in out.getvalue().splitlines()
+        if line
+    ]
+
+
+class TestStdio:
+    def test_answers_in_request_order(self, service, dst_text, tle_text):
+        out = io.StringIO()
+        answered = run_stdio(
+            service,
+            lines(
+                {
+                    "op": "ingest-delta",
+                    "request_id": "one",
+                    "payload": {"dst_text": dst_text, "tle_text": tle_text},
+                },
+                {"op": "refresh", "request_id": "two"},
+                {"op": "health", "request_id": "three"},
+            ),
+            out,
+        )
+        assert answered == 3
+        out_responses = responses_of(out)
+        assert [r.request_id for r in out_responses] == ["one", "two", "three"]
+        assert all(r.ok for r in out_responses)
+        assert "result_digest" in out_responses[1].result
+
+    def test_malformed_line_answers_and_continues(self, service):
+        out = io.StringIO()
+        answered = run_stdio(
+            service, lines("this is not json", {"op": "health"}), out
+        )
+        assert answered == 2
+        bad, good = responses_of(out)
+        assert not bad.ok and bad.error_type == "ProtocolError"
+        assert good.ok
+
+    def test_shutdown_request_ends_the_loop(self, service):
+        out = io.StringIO()
+        answered = run_stdio(
+            service,
+            lines({"op": "shutdown"}, {"op": "health"}),  # second never read
+            out,
+        )
+        assert answered == 1
+        assert responses_of(out)[0].ok
+
+    def test_blank_lines_are_skipped(self, service):
+        out = io.StringIO()
+        answered = run_stdio(
+            service, io.StringIO("\n\n" + json.dumps({"op": "health"}) + "\n"), out
+        )
+        assert answered == 1
+
+
+@pytest.fixture
+def http_server(service):
+    server = make_http_server(service)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    yield f"http://{host}:{port}"
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=5)
+
+
+def post(base: str, request: ServeRequest) -> tuple[int, ServeResponse]:
+    data = request.to_json().encode()
+    try:
+        with urllib.request.urlopen(
+            urllib.request.Request(
+                f"{base}/v1/requests",
+                data=data,
+                headers={"Content-Type": "application/json"},
+            ),
+            timeout=30,
+        ) as reply:
+            return reply.status, ServeResponse.from_json(reply.read().decode())
+    except urllib.error.HTTPError as exc:
+        return exc.code, ServeResponse.from_json(exc.read().decode())
+
+
+class TestHTTP:
+    def test_post_round_trip(self, http_server, dst_text, tle_text):
+        status, response = post(
+            http_server,
+            ServeRequest(
+                op="ingest-delta",
+                payload={"dst_text": dst_text, "tle_text": tle_text},
+            ),
+        )
+        assert status == 200 and response.ok
+        status, response = post(http_server, ServeRequest(op="refresh"))
+        assert status == 200 and response.ok
+        assert response.result["result_digest"]
+
+    def test_handler_failures_are_still_http_200(self, http_server):
+        # The request WAS served; the analysis failed.  Only transport-
+        # level problems change the status code.
+        status, response = post(http_server, ServeRequest(op="refresh"))
+        assert status == 200
+        assert not response.ok and response.error_type == "IngestError"
+
+    def test_bad_body_is_http_400(self, http_server):
+        request = urllib.request.Request(
+            f"{http_server}/v1/requests", data=b"{nope"
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=30)
+        assert excinfo.value.code == 400
+        body = ServeResponse.from_json(excinfo.value.read().decode())
+        assert body.error_type == "ProtocolError"
+
+    def test_unknown_route_is_http_404(self, http_server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(f"{http_server}/v1/everything", timeout=30)
+        assert excinfo.value.code == 404
+
+    def test_health_probe(self, http_server):
+        with urllib.request.urlopen(
+            f"{http_server}/v1/health", timeout=30
+        ) as reply:
+            assert reply.status == 200
+            body = ServeResponse.from_json(reply.read().decode())
+        assert body.ok and body.result["status"] == "ok"

@@ -1,0 +1,113 @@
+"""Wire-protocol unit tests: codecs, validation, the ok/error invariant."""
+
+import pytest
+
+from repro.errors import ProtocolError, ReproError
+from repro.serve.protocol import (
+    OPS,
+    ServeRequest,
+    ServeResponse,
+    validate_session_id,
+)
+
+
+class TestServeRequest:
+    def test_json_round_trip(self):
+        request = ServeRequest(
+            op="ingest-delta",
+            session="ops-team",
+            request_id="r-17",
+            payload={"dst_text": "abc"},
+        )
+        again = ServeRequest.from_json(request.to_json())
+        assert again == request
+
+    def test_defaults(self):
+        request = ServeRequest(op="health")
+        assert request.session == "default"
+        assert request.request_id == ""
+        assert dict(request.payload) == {}
+
+    def test_every_op_is_constructible(self):
+        for op in OPS:
+            assert ServeRequest(op=op).op == op
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown op"):
+            ServeRequest(op="explode")
+
+    @pytest.mark.parametrize("session", ["", ".hidden", "a b", "x" * 65, "a/b"])
+    def test_bad_session_ids_rejected(self, session):
+        with pytest.raises(ProtocolError, match="session id"):
+            ServeRequest(op="health", session=session)
+
+    def test_session_ids_are_filesystem_safe(self):
+        assert validate_session_id("team-A.prod_2") == "team-A.prod_2"
+
+    def test_payload_is_read_only(self):
+        request = ServeRequest(op="refresh", payload={"a": 1})
+        with pytest.raises(TypeError):
+            request.payload["a"] = 2  # type: ignore[index]
+
+    def test_non_mapping_payload_rejected(self):
+        with pytest.raises(ProtocolError, match="JSON object"):
+            ServeRequest(op="refresh", payload=[1, 2])  # type: ignore[arg-type]
+
+    def test_unknown_envelope_fields_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown request field"):
+            ServeRequest.from_dict({"op": "health", "verb": "GET"})
+
+    def test_missing_op_rejected(self):
+        with pytest.raises(ProtocolError, match="missing the 'op'"):
+            ServeRequest.from_dict({"session": "default"})
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(ProtocolError, match="not valid JSON"):
+            ServeRequest.from_json("{nope")
+
+    def test_protocol_error_is_a_repro_error(self):
+        # One except-clause catches the whole taxonomy.
+        with pytest.raises(ReproError):
+            ServeRequest.from_json("{nope")
+
+
+class TestServeResponse:
+    def test_success_echoes_the_request_envelope(self):
+        request = ServeRequest(op="refresh", session="s1", request_id="q")
+        response = ServeResponse.success(request, {"result_digest": "d"})
+        assert response.ok
+        assert (response.op, response.session, response.request_id) == (
+            "refresh", "s1", "q",
+        )
+        assert response.result["result_digest"] == "d"
+        assert response.error is None and response.error_type is None
+
+    def test_failure_captures_the_exception_type(self):
+        request = ServeRequest(op="refresh")
+        response = ServeResponse.failure(request, ValueError("boom"))
+        assert not response.ok
+        assert response.error_type == "ValueError"
+        assert response.error["message"] == "boom"
+
+    def test_ok_xor_error_invariant(self):
+        with pytest.raises(ProtocolError):
+            ServeResponse(ok=True, op="health", error={"type": "X", "message": ""})
+        with pytest.raises(ProtocolError):
+            ServeResponse(ok=False, op="health")
+
+    def test_json_round_trip(self):
+        request = ServeRequest(op="query-alerts", request_id="1")
+        response = ServeResponse.success(request, {"total": 0, "alerts": []})
+        assert ServeResponse.from_json(response.to_json()) == response
+
+    def test_unknown_op_is_representable(self):
+        # Error responses must be expressible even when the op never
+        # parsed — the stdio loop answers bad lines with one.
+        response = ServeResponse(
+            ok=False, op="health", error={"type": "ProtocolError", "message": "x"}
+        )
+        assert ServeResponse.from_json(response.to_json()) == response
+
+    def test_unknown_envelope_fields_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown response field"):
+            ServeResponse.from_dict({"ok": True, "op": "health", "extra": 1})

@@ -1,0 +1,81 @@
+"""Session-manager unit tests: LRU residency, isolation, shared memo."""
+
+import pytest
+
+from repro.errors import ProtocolError, SessionError
+from repro.exec import StageMemo
+from repro.io.store import DataStore
+from repro.serve.session import SessionManager
+
+
+class TestResidency:
+    def test_created_on_first_use_and_reused(self):
+        manager = SessionManager()
+        first = manager.get("a")
+        assert manager.get("a") is first
+        assert len(manager) == 1
+
+    def test_lru_eviction_beyond_capacity(self):
+        manager = SessionManager(max_sessions=2)
+        a = manager.get("a")
+        manager.get("b")
+        manager.get("a")          # refresh a's recency; b is now LRU
+        manager.get("c")          # evicts b
+        assert manager.ids() == ("a", "c")
+        assert manager.evicted == 1
+        assert manager.get("a") is a
+
+    def test_evicted_session_is_rebuilt_fresh(self):
+        manager = SessionManager(max_sessions=1)
+        a = manager.get("a")
+        manager.get("b")
+        assert manager.get("a") is not a
+
+    def test_peek_never_creates_or_touches(self):
+        manager = SessionManager(max_sessions=2)
+        assert manager.peek("a") is None
+        manager.get("a")
+        manager.get("b")
+        assert manager.peek("a") is not None
+        manager.get("c")          # a is LRU because peek did not touch it
+        assert manager.ids() == ("b", "c")
+
+    def test_drop(self):
+        manager = SessionManager()
+        manager.get("a")
+        assert manager.drop("a")
+        assert not manager.drop("a")
+        assert len(manager) == 0
+
+    def test_capacity_validated(self):
+        with pytest.raises(SessionError):
+            SessionManager(max_sessions=0)
+
+    def test_session_id_validated(self):
+        with pytest.raises(ProtocolError):
+            SessionManager().get("../escape")
+
+
+class TestIsolationAndSharing:
+    def test_sessions_own_their_monitors(self):
+        manager = SessionManager()
+        assert manager.get("a").monitor is not manager.get("b").monitor
+
+    def test_memo_is_shared_across_sessions(self):
+        memo = StageMemo()
+        manager = SessionManager(memo=memo)
+        assert manager.get("a").monitor.pipeline.memo is memo
+        assert manager.get("b").monitor.pipeline.memo is memo
+
+    def test_per_session_store_scoping(self, tmp_path):
+        manager = SessionManager(store=DataStore(tmp_path))
+        store_a = manager.get("a").monitor.alerts.store
+        store_b = manager.get("b").monitor.alerts.store
+        assert store_a.root == tmp_path / "sessions" / "a"
+        assert store_b.root == tmp_path / "sessions" / "b"
+
+    def test_version_bumps_are_monotonic(self):
+        session = SessionManager().get("a")
+        assert session.version == 0
+        assert session.bump() == 1
+        assert session.bump() == 2

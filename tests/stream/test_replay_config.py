@@ -1,0 +1,57 @@
+"""Regression: ``replay()`` must hand the caller's config to BOTH
+pipelines it builds.
+
+The staging pipeline (which only coerces and ingests the batch inputs)
+used to be constructed bare, silently dropping ingest-affecting knobs
+whenever the monitor path was used.  A constructor spy pins the fix.
+"""
+
+import io
+
+import repro.api as api
+from repro import CosmicDance, CosmicDanceConfig, replay
+from repro.io.csvio import write_dst_csv
+from repro.tle.format import format_tle_block
+
+from tests.core.helpers import record
+from tests.stream.conftest import hourly
+
+
+def tiny_feed():
+    buf = io.StringIO()
+    write_dst_csv(hourly([-10.0] * 48), buf)
+    tle = format_tle_block([record(1, float(day), 550.0) for day in range(2)])
+    return buf.getvalue(), tle
+
+
+def test_staging_pipeline_sees_the_callers_config(monkeypatch):
+    seen = []
+
+    class Spy(CosmicDance):
+        def __init__(self, config=None, **kwargs):
+            seen.append(config)
+            super().__init__(config, **kwargs)
+
+    monkeypatch.setattr(api, "CosmicDance", Spy)
+    config = CosmicDanceConfig(strict=True)
+    dst_text, tle_text = tiny_feed()
+    monitor, _ = replay(dst_text, tle_text, config=config)
+    # Exactly one staging pipeline was built, and with our config —
+    # not a default-constructed one.
+    assert seen == [config]
+    # The monitor's own pipeline got the same config.
+    assert monitor.config is config
+
+
+def test_default_config_still_defaults(monkeypatch):
+    seen = []
+
+    class Spy(CosmicDance):
+        def __init__(self, config=None, **kwargs):
+            seen.append(config)
+            super().__init__(config, **kwargs)
+
+    monkeypatch.setattr(api, "CosmicDance", Spy)
+    dst_text, tle_text = tiny_feed()
+    replay(dst_text, tle_text)
+    assert seen == [None]

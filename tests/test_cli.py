@@ -222,3 +222,124 @@ class TestTriggersCommand:
     def test_threshold_override(self, dst_csv, capsys):
         assert main(["triggers", "--dst", str(dst_csv), "--threshold", "-100"]) == 0
         assert "-100.0 nT" in capsys.readouterr().out
+
+
+def _contract_argv(name, dst_csv, cache, tmp_path):
+    """A known-good argv for each subcommand (setup included)."""
+    if name == "trace-report":
+        # A trace artifact must exist before it can be rendered.
+        assert main(["analyze", "--cache", str(cache), "--trace"]) == 0
+        return ["trace-report", "--cache", str(cache)]
+    return {
+        "simulate": ["simulate", "--out", str(tmp_path / "sim")],
+        "storms": ["storms", "--dst", str(dst_csv)],
+        "clean": ["clean", "--cache", str(cache)],
+        "analyze": ["analyze", "--cache", str(cache)],
+        "report": ["report", "--cache", str(cache)],
+        "lifetime": ["lifetime", "--altitude", "400"],
+        "triggers": ["triggers", "--dst", str(dst_csv)],
+        "replay": ["replay", "--cache", str(cache)],
+        "watch": ["watch", "--max-chunks", "3"],
+    }[name]
+
+
+JSON_COMMANDS = (
+    "simulate", "storms", "clean", "analyze", "report",
+    "lifetime", "triggers", "trace-report", "replay", "watch",
+)
+
+
+class TestJsonContract:
+    """Every subcommand honours --json: exactly one machine-readable
+    object on stdout, nothing else."""
+
+    import json as _json
+
+    @pytest.mark.parametrize("name", JSON_COMMANDS)
+    def test_json_is_one_object_on_stdout(
+        self, name, dst_csv, cache, tmp_path, capsys
+    ):
+        argv = _contract_argv(name, dst_csv, cache, tmp_path)
+        capsys.readouterr()  # discard any setup output
+        assert main(argv + ["--json"]) == 0
+        out = capsys.readouterr().out
+        payload = self._json.loads(out)  # whole stream parses as one doc
+        assert payload["command"] == name
+
+    @pytest.mark.parametrize("name", JSON_COMMANDS)
+    def test_human_mode_is_unchanged_by_the_flag(
+        self, name, dst_csv, cache, tmp_path, capsys
+    ):
+        argv = _contract_argv(name, dst_csv, cache, tmp_path)
+        capsys.readouterr()
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        with pytest.raises(ValueError):
+            self._json.loads(out)  # tables, not JSON
+
+
+class TestExitCodes:
+    """The exit-code contract: 0 ok, 1 pipeline error, 2 usage."""
+
+    def test_pipeline_error_is_exit_1(self, capsys):
+        assert main(["analyze"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_pipeline_error_under_json_is_a_typed_envelope(self, capsys):
+        import json
+
+        assert main(["analyze", "--json"]) == 1
+        out, err = capsys.readouterr()
+        payload = json.loads(out)
+        assert payload["ok"] is False
+        assert payload["error"]["type"] == "ReproError"
+        assert "error:" in err
+
+    def test_missing_file_is_exit_1(self, tmp_path, capsys):
+        assert main(["storms", "--dst", str(tmp_path / "nope.csv")]) == 1
+
+    def test_usage_error_is_exit_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["analyze", "--bogus-flag"])
+        assert excinfo.value.code == 2
+
+    def test_bad_host_port_is_exit_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve", "--http", "not-a-hostport"])
+        assert excinfo.value.code == 2
+
+    def test_unknown_command_is_exit_2(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["conquer"])
+        assert excinfo.value.code == 2
+
+
+class TestServeCommand:
+    def test_stdio_round_trip(self, monkeypatch, capsys):
+        import io
+        import json
+
+        requests = "\n".join(
+            json.dumps(r)
+            for r in ({"op": "health"}, {"op": "shutdown"})
+        )
+        monkeypatch.setattr("sys.stdin", io.StringIO(requests + "\n"))
+        assert main(["serve"]) == 0
+        out, err = capsys.readouterr()
+        lines = [json.loads(line) for line in out.splitlines() if line]
+        assert len(lines) == 2
+        assert all(line["ok"] for line in lines)
+        assert lines[0]["result"]["status"] == "ok"
+        assert "served 2 request(s)" in err
+
+    def test_stdio_summary_is_json_on_stderr_under_json(
+        self, monkeypatch, capsys
+    ):
+        import io
+        import json
+
+        monkeypatch.setattr("sys.stdin", io.StringIO(""))
+        assert main(["serve", "--json"]) == 0
+        out, err = capsys.readouterr()
+        assert out == ""
+        assert json.loads(err) == {"answered": 0, "command": "serve"}

@@ -1,0 +1,146 @@
+"""Tests for :mod:`repro.inputs` — the shared input-coercion front door.
+
+Every public entry point (analyze/replay/CLI/serve) routes through
+these coercers, so this suite pins the accepted-shape contract: what
+each coercer takes, what it rejects, and that lenient TLE parsing
+ledgers failures exactly like batch ingest.
+"""
+
+import io
+
+import pytest
+
+from repro.core.ingest import IngestState
+from repro.errors import InputError, PipelineError
+from repro.inputs import coerce_dst, coerce_elements, ingest_elements
+from repro.io.csvio import write_dst_csv
+from repro.robustness.health import QuarantineLedger
+from repro.spaceweather.dst import DstIndex
+from repro.spaceweather.wdc import format_wdc
+from repro.tle import SatelliteCatalog
+from repro.tle.format import format_tle_block
+
+from tests.core.helpers import record
+from tests.stream.conftest import hourly
+
+
+@pytest.fixture
+def dst():
+    return hourly([-10.0 - (i % 30) for i in range(48)])
+
+
+@pytest.fixture
+def elements():
+    return [record(1, float(day), 550.0) for day in range(3)] + [
+        record(2, 0.0, 560.0)
+    ]
+
+
+def with_bad_line(text: str) -> str:
+    # Appended, not inserted: a stray line mid-dump would desync the
+    # two-line pairing and eat the following good record as well.
+    return text + "1 99999U GARBAGE RECORD THAT WILL NOT PARSE\n"
+
+
+class TestCoerceDst:
+    def test_parsed_index_passes_through(self, dst):
+        assert coerce_dst(dst) is dst
+
+    def test_csv_text_round_trips(self, dst):
+        buf = io.StringIO()
+        write_dst_csv(dst, buf)
+        back = coerce_dst(buf.getvalue())
+        assert list(back.series.values) == pytest.approx(
+            list(dst.series.values)
+        )
+
+    def test_wdc_text_round_trips(self, dst):
+        back = coerce_dst(format_wdc(dst))
+        assert len(back) == len(dst)
+        assert list(back.series.values) == pytest.approx(
+            list(dst.series.values)
+        )
+
+    def test_unparsable_text_is_typed(self):
+        with pytest.raises(InputError, match="unparsable Dst text"):
+            coerce_dst("timestamp,this is not really a csv\n???")
+
+    def test_wrong_type_names_the_offender(self):
+        with pytest.raises(InputError, match="got int"):
+            coerce_dst(12345)
+
+    def test_input_error_is_a_pipeline_error(self):
+        with pytest.raises(PipelineError):
+            coerce_dst(None)
+
+
+class TestCoerceElements:
+    def test_catalog_flattens_to_elements(self, elements):
+        catalog = SatelliteCatalog()
+        for element in elements:
+            catalog.add(element)
+        out = coerce_elements(catalog)
+        assert sorted(e.catalog_number for e in out) == [1, 1, 1, 2]
+
+    def test_iterables_pass_through_as_tuples(self, elements):
+        assert coerce_elements(elements) == tuple(elements)
+        assert coerce_elements(iter(elements)) == tuple(elements)
+
+    def test_text_parses(self, elements):
+        out = coerce_elements(format_tle_block(elements))
+        assert len(out) == len(elements)
+        assert {e.catalog_number for e in out} == {1, 2}
+
+    def test_lenient_text_skips_bad_records(self, elements):
+        out = coerce_elements(with_bad_line(format_tle_block(elements)))
+        assert len(out) == len(elements)
+
+    def test_lenient_text_ledgers_under_source(self, elements):
+        ledger = QuarantineLedger()
+        coerce_elements(
+            with_bad_line(format_tle_block(elements)),
+            ledger=ledger,
+            source="feed-7",
+        )
+        (entry,) = ledger.entries
+        assert entry.identifier == "feed-7"
+        assert entry.stage == "ingest"
+        assert "unparsable TLE record(s)" in entry.reason
+
+    def test_clean_text_leaves_the_ledger_alone(self, elements):
+        ledger = QuarantineLedger()
+        coerce_elements(format_tle_block(elements), ledger=ledger)
+        assert not ledger
+
+    def test_strict_text_raises_with_line_number(self, elements):
+        with pytest.raises(InputError, match="first at line 9"):
+            coerce_elements(
+                with_bad_line(format_tle_block(elements)), strict=True
+            )
+
+    def test_wrong_type_names_the_offender(self):
+        with pytest.raises(InputError, match="got int"):
+            coerce_elements(42)
+
+    def test_iterable_of_wrong_items_rejected(self):
+        with pytest.raises(InputError, match="got str"):
+            coerce_elements(["not an element"])
+
+
+class TestIngestElements:
+    def test_text_routes_through_batch_ingest(self, elements):
+        state = IngestState()
+        added = ingest_elements(
+            state, with_bad_line(format_tle_block(elements)), source="feed-7"
+        )
+        assert added == {1: 3, 2: 1}
+        # Parse failures land on the state's own ledger, exactly as in
+        # batch ingest — the digest-bearing path.
+        (entry,) = state.ledger.entries
+        assert entry.identifier == "feed-7"
+
+    def test_parsed_routes_through_element_merge(self, elements):
+        state = IngestState()
+        assert ingest_elements(state, elements) == {1: 3, 2: 1}
+        assert ingest_elements(state, elements) == {}  # all duplicates
+        assert not state.ledger
